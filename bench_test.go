@@ -1,0 +1,508 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (§7), plus ablations of this implementation's design choices. Mapping:
+//
+//	BenchmarkFig09/16  CC extraction + cardinality histograms (Figs 9, 16)
+//	BenchmarkFig10     volumetric similarity, Hydra vs DataSynth (Fig 10)
+//	BenchmarkFig11     referential-integrity extras (Fig 11)
+//	BenchmarkFig12     LP variables, region vs grid (Fig 12)
+//	BenchmarkFig13     LP processing time (Fig 13)
+//	BenchmarkFig14     materialization (Fig 14)
+//	BenchmarkSec74     exabyte-scale summary construction (§7.4)
+//	BenchmarkFig15     disk scan vs dynamic generation (Fig 15)
+//	BenchmarkFig17     JOB LP variables (Fig 17)
+//
+// The ablation suite isolates: region vs grid partitioning, deterministic
+// alignment vs sampling instantiation, rational vs float simplex, joint vs
+// sequential LP solving, adaptive decomposition vs literal-paper cliques,
+// FK spread, and tuple-lookup strategy.
+package hydra_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	hydra "github.com/dsl-repro/hydra"
+	"github.com/dsl-repro/hydra/internal/cc"
+	"github.com/dsl-repro/hydra/internal/core"
+	"github.com/dsl-repro/hydra/internal/datasynth"
+	"github.com/dsl-repro/hydra/internal/engine"
+	"github.com/dsl-repro/hydra/internal/lp"
+	"github.com/dsl-repro/hydra/internal/preprocess"
+	"github.com/dsl-repro/hydra/internal/schema"
+	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+	"github.com/dsl-repro/hydra/internal/workload/job"
+	"github.com/dsl-repro/hydra/internal/workload/tpcds"
+)
+
+// benchEnv is the shared benchmark environment: one synthetic client site,
+// built once across all benchmarks.
+type benchEnv struct {
+	cfg      tpcds.Config
+	schema   *schema.Schema
+	db       *engine.Database
+	queriesC []*engine.Query
+	wlc      *cc.Workload
+	wls      *cc.Workload
+
+	jobCfg    job.Config
+	jobSchema *schema.Schema
+	jobWL     *cc.Workload
+}
+
+var (
+	envOnce sync.Once
+	env     *benchEnv
+	envErr  error
+)
+
+func getEnv(b *testing.B) *benchEnv {
+	b.Helper()
+	envOnce.Do(func() {
+		e := &benchEnv{cfg: tpcds.Config{SF: 0.05, Seed: 42}}
+		e.schema = tpcds.Schema(e.cfg)
+		db, err := tpcds.GenerateDB(e.schema, e.cfg)
+		if err != nil {
+			envErr = err
+			return
+		}
+		e.db = db
+		e.queriesC = tpcds.QueriesComplex(e.schema, e.cfg, 60)
+		e.wlc, _, envErr = engine.WorkloadFromQueries(db, e.schema, "WLc", e.queriesC)
+		if envErr != nil {
+			return
+		}
+		e.wls, _, envErr = engine.WorkloadFromQueries(db, e.schema, "WLs", tpcds.QueriesSimple(e.schema, e.cfg, 40))
+		if envErr != nil {
+			return
+		}
+		e.jobCfg = job.Config{SF: 0.05, Seed: 11}
+		e.jobSchema = job.Schema(e.jobCfg)
+		jdb, err := job.GenerateDB(e.jobSchema, e.jobCfg)
+		if err != nil {
+			envErr = err
+			return
+		}
+		e.jobWL, _, envErr = engine.WorkloadFromQueries(jdb, e.jobSchema, "JOB", job.Queries(e.jobSchema, e.jobCfg, 80))
+		env = e
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return env
+}
+
+// BenchmarkFig09_CCDistributionWLc measures the client-side path behind
+// Figure 9: executing the workload to obtain AQPs and deriving the CC set.
+func BenchmarkFig09_CCDistributionWLc(b *testing.B) {
+	e := getEnv(b)
+	qs := e.queriesC[:20]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _, err := engine.WorkloadFromQueries(e.db, e.schema, "WLc", qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h := w.CountHistogram(); len(h) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// BenchmarkFig10_VolumetricSimilarity measures one full Hydra
+// regenerate-and-evaluate cycle on the simple workload (the Fig. 10 loop).
+func BenchmarkFig10_VolumetricSimilarity(b *testing.B) {
+	e := getEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.Evaluate(e.wls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11_RefIntegrityExtras measures the summary-construction tail
+// (align/merge + consistency repair) that produces the Fig. 11 numbers.
+func BenchmarkFig11_RefIntegrityExtras(b *testing.B) {
+	e := getEnv(b)
+	views, err := preprocess.BuildViews(e.schema, e.wls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order, _ := e.schema.TopoOrder()
+	sols := map[string]*core.ViewSolution{}
+	for _, t := range order {
+		sol, err := core.FormulateAndSolve(views[t.Name], core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sols[t.Name] = sol
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := summary.Build(e.schema, views, sols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sum.Extra
+	}
+}
+
+// BenchmarkFig12_LPVariables measures region-partitioned LP formulation
+// for the biggest fact view plus the analytic grid count (the Fig. 12
+// comparison quantities).
+func BenchmarkFig12_LPVariables(b *testing.B) {
+	e := getEnv(b)
+	views, err := preprocess.BuildViews(e.schema, e.wlc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := views["store_sales"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := core.FormulateWith(v, core.RegionStrategy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grid := datasynth.GridVars(v)
+		if f.Stats.Vars == 0 || grid.Sign() == 0 {
+			b.Fatal("no variables")
+		}
+	}
+}
+
+// BenchmarkFig13_LPSolveTime measures the complete per-view formulate +
+// solve pipeline over the complex workload (Hydra's Fig. 13 column).
+func BenchmarkFig13_LPSolveTime(b *testing.B) {
+	e := getEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := hydra.Regenerate(e.schema, e.wlc, hydra.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.SolveTime
+	}
+}
+
+// BenchmarkFig14_Materialization measures Hydra's static materialization:
+// summary construction plus writing every generated tuple to heap files.
+func BenchmarkFig14_Materialization(b *testing.B) {
+	e := getEnv(b)
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		res, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rows int64
+		for name, rs := range res.Summary.Relations {
+			gen := engine.NewGenRelation(tuplegen.New(rs))
+			d, err := engine.MaterializeToDisk(gen, filepath.Join(dir, fmt.Sprintf("%s_%d.heap", name, i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += d.NumRows()
+			os.Remove(filepath.Join(dir, fmt.Sprintf("%s_%d.heap", name, i)))
+		}
+		b.ReportMetric(float64(rows), "tuples/op")
+	}
+}
+
+// BenchmarkSec74_ExabyteSummary measures summary construction with CC
+// counts scaled to exabyte-class volumes — the §7.4 scale-independence
+// claim: this should not be slower than BenchmarkFig13 at base scale.
+func BenchmarkSec74_ExabyteSummary(b *testing.B) {
+	e := getEnv(b)
+	const k = 100_000_000_000
+	tabs := make([]*schema.Table, len(e.schema.Tables))
+	for i, t := range e.schema.Tables {
+		nt := *t
+		nt.RowCount *= k
+		tabs[i] = &nt
+	}
+	bigSchema := schema.MustNew(tabs...)
+	bigWL := &cc.Workload{Name: "exa", CCs: append([]cc.CC(nil), e.wlc.CCs...)}
+	for i := range bigWL.CCs {
+		bigWL.CCs[i].Count *= k
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hydra.Regenerate(bigSchema, bigWL, hydra.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Summary.SizeBytes()), "summary-bytes")
+	}
+}
+
+// BenchmarkFig15 measures the two data supply paths of Fig. 15 over the
+// same relation: sequential disk scan of the materialized heap file versus
+// on-the-fly generation from the summary.
+func BenchmarkFig15(b *testing.B) {
+	e := getEnv(b)
+	res, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := hydra.NewGenerator(res.Summary, "store_sales")
+	if err != nil {
+		b.Fatal(err)
+	}
+	genRel := engine.NewGenRelation(gen)
+	disk, err := engine.MaterializeToDisk(genRel, filepath.Join(b.TempDir(), "ss.heap"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := float64(genRel.NumRows())
+	b.Run("DiskScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.AggregateScan(disk, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+	})
+	b.Run("Dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.AggregateScan(genRel, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+	})
+}
+
+// BenchmarkFig16_CCDistributionJOB measures JOB CC extraction (Fig. 16).
+func BenchmarkFig16_CCDistributionJOB(b *testing.B) {
+	e := getEnv(b)
+	jdb, err := job.GenerateDB(e.jobSchema, e.jobCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := job.Queries(e.jobSchema, e.jobCfg, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _, err := engine.WorkloadFromQueries(jdb, e.jobSchema, "JOB", qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = w.CountHistogram()
+	}
+}
+
+// BenchmarkFig17_JOBVariables measures per-view formulation over the whole
+// JOB workload (Fig. 17's variable counts).
+func BenchmarkFig17_JOBVariables(b *testing.B) {
+	e := getEnv(b)
+	views, err := preprocess.BuildViews(e.jobSchema, e.jobWL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, v := range views {
+			f, err := core.FormulateWith(v, core.RegionStrategy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += f.Stats.Vars
+		}
+		if total == 0 {
+			b.Fatal("no variables")
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblation_RegionVsGrid isolates the paper's core claim: the cost
+// of formulating (and counting variables for) one dimension view under
+// region versus grid partitioning.
+func BenchmarkAblation_RegionVsGrid(b *testing.B) {
+	e := getEnv(b)
+	views, err := preprocess.BuildViews(e.schema, e.wls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := views["item"]
+	b.Run("Region", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := core.FormulateWith(v, core.RegionStrategy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(f.Stats.Vars), "vars")
+		}
+	})
+	b.Run("Grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := core.FormulateWith(v, datasynth.GridStrategy("item", datasynth.DefaultMaxCells))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(f.Stats.Vars), "vars")
+		}
+	})
+}
+
+// BenchmarkAblation_AlignVsSampling compares Hydra's deterministic
+// align-and-merge instantiation against DataSynth's per-tuple sampling for
+// the same solved workload — the §5.1 design decision.
+func BenchmarkAblation_AlignVsSampling(b *testing.B) {
+	e := getEnv(b)
+	b.Run("HydraAlign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DataSynthSampling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := datasynth.Regenerate(e.schema, e.wls, datasynth.Options{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_RationalVsFloat compares the exact and float simplex
+// backends on the same mid-size feasibility system.
+func BenchmarkAblation_RationalVsFloat(b *testing.B) {
+	prob := &lp.Problem{NumVars: 120}
+	hidden := make([]int64, 120)
+	for i := range hidden {
+		hidden[i] = int64((i * 13) % 50)
+	}
+	for r := 0; r < 25; r++ {
+		var entries []lp.Entry
+		var rhs int64
+		for v := r; v < 120; v += 2 + r%3 {
+			entries = append(entries, lp.Entry{Var: v, Coef: 1})
+			rhs += hidden[v]
+		}
+		prob.AddRow(lp.Row{Entries: entries, Rel: lp.EQ, RHS: rhs, Name: "r"})
+	}
+	b.Run("Rational", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lp.SolveInteger(prob, lp.IntOptions{Backend: lp.Rational}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Float", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lp.SolveInteger(prob, lp.IntOptions{Backend: lp.Float}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_JointVsSequential compares the joint per-view LP
+// against the clique-tree-sequential decomposition on the simple workload.
+func BenchmarkAblation_JointVsSequential(b *testing.B) {
+	e := getEnv(b)
+	views, err := preprocess.BuildViews(e.schema, e.wls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order, _ := e.schema.TopoOrder()
+	run := func(b *testing.B, opts core.Options) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range order {
+				if _, err := core.FormulateAndSolve(views[t.Name], opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("Sequential", func(b *testing.B) { run(b, core.Options{}) })
+	b.Run("Joint", func(b *testing.B) { run(b, core.Options{Joint: true}) })
+}
+
+// BenchmarkAblation_DecompositionPolicy compares the adaptive
+// component-merge policy against the literal-paper maximal-clique
+// decomposition on the overlapping complex workload.
+func BenchmarkAblation_DecompositionPolicy(b *testing.B) {
+	e := getEnv(b)
+	views, err := preprocess.BuildViews(e.schema, e.wlc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := views["item"]
+	run := func(b *testing.B, threshold int) {
+		old := core.MergeFloorThreshold
+		core.MergeFloorThreshold = threshold
+		defer func() { core.MergeFloorThreshold = old }()
+		for i := 0; i < b.N; i++ {
+			f, err := core.FormulateWith(v, core.RegionStrategy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(f.Stats.Vars), "vars")
+		}
+	}
+	b.Run("Adaptive", func(b *testing.B) { run(b, 20_000) })
+	b.Run("PaperCliques", func(b *testing.B) { run(b, 1<<40) })
+}
+
+// BenchmarkAblation_FKSpread compares first-row FK assignment (the
+// paper's) against round-robin spreading on the probe side of a hash join.
+func BenchmarkAblation_FKSpread(b *testing.B) {
+	e := getEnv(b)
+	res, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, spread bool) {
+		gen, err := hydra.NewGenerator(res.Summary, "store_sales")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen.SetFKSpread(spread)
+		rel := engine.NewGenRelation(gen)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.AggregateScan(rel, 6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("FirstRow", func(b *testing.B) { run(b, false) })
+	b.Run("Spread", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblation_TupleLookup compares the prefix-sum binary search
+// against the paper's literal linear scan for random tuple access (see
+// also the micro-benchmarks in internal/tuplegen).
+func BenchmarkAblation_TupleLookup(b *testing.B) {
+	e := getEnv(b)
+	res, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := hydra.NewGenerator(res.Summary, "store_sales")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := gen.NumRows()
+	b.Run("BinarySearch", func(b *testing.B) {
+		var buf []int64
+		for i := 0; i < b.N; i++ {
+			buf = gen.Row(int64(i)%n+1, buf)
+		}
+	})
+	b.Run("LinearScan", func(b *testing.B) {
+		var buf []int64
+		for i := 0; i < b.N; i++ {
+			buf = gen.RowLinear(int64(i)%n+1, buf)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/dsl-repro/hydra/internal/core"
+	"github.com/dsl-repro/hydra/internal/engine"
+	"github.com/dsl-repro/hydra/internal/partition"
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/preprocess"
+	"github.com/dsl-repro/hydra/internal/workload/tpcds"
+)
+
+// debugPartition traces the incremental partitioning of the named view's
+// biggest sub-view, printing region/block counts after every constraint.
+func debugPartition(viewName string, nq int) {
+	cfg := tpcds.Config{SF: 0.02, Seed: 42}
+	s := tpcds.Schema(cfg)
+	db, err := tpcds.GenerateDB(s, cfg)
+	if err != nil {
+		panic(err)
+	}
+	queries := tpcds.QueriesComplex(s, cfg, nq)
+	w, _, err := engine.WorkloadFromQueries(db, s, "dbg", queries)
+	if err != nil {
+		panic(err)
+	}
+	views, err := preprocess.BuildViews(s, w)
+	if err != nil {
+		panic(err)
+	}
+	v := views[viewName]
+	fmt.Printf("view %s: %d CCs, %d attrs\n", viewName, len(v.CCs), len(v.Attrs))
+	inputs := core.SubViewInputs(v)
+	for ii, in := range inputs {
+		if len(in.Cons) < 5 {
+			continue
+		}
+		fmt.Printf("sub-view %d: %d attrs, %d cons\n", ii, len(in.Attrs), len(in.Cons))
+		trace(in.Space, in.Cons)
+	}
+}
+
+func trace(space []pred.Set, cons []pred.DNF) {
+	regions := []partition.Region{}
+	// Re-run incrementally, one constraint prefix at a time (quadratic but
+	// fine for debugging).
+	for j := 1; j <= len(cons); j++ {
+		rs, err := partition.OptimalIncremental(space, cons[:j], 6_000_000)
+		if err != nil {
+			fmt.Printf("  after %2d cons: %v\n", j, err)
+			return
+		}
+		regions = rs
+		blocks := 0
+		for _, r := range rs {
+			blocks += len(r.Blocks)
+		}
+		fmt.Printf("  after %2d cons: regions=%6d blocks=%8d attrs(last)=%v\n", j, len(rs), blocks, cons[j-1].Attrs())
+	}
+	_ = regions
+}

@@ -1,0 +1,87 @@
+// Command hydra-debug is a developer diagnostic: it builds the TPC-DS
+// substrate, derives the WLc workload, and prints per-view formulation and
+// solve statistics (variables, rows, consistency rows, timings). With the
+// "debug" mode it traces incremental region partitioning constraint by
+// constraint. Useful when tuning workload shape or solver policies.
+//
+// Usage:
+//
+//	hydra-debug [queries]          # formulate only
+//	hydra-debug [queries] solve    # formulate + solve, with stats
+//	hydra-debug [queries] debug    # trace partitioning of store_sales
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/core"
+	"github.com/dsl-repro/hydra/internal/engine"
+	"github.com/dsl-repro/hydra/internal/preprocess"
+	"github.com/dsl-repro/hydra/internal/workload/tpcds"
+)
+
+func main() {
+	nq := 40
+	solve := false
+	if len(os.Args) > 1 {
+		nq, _ = strconv.Atoi(os.Args[1])
+	}
+	if len(os.Args) > 2 && os.Args[2] == "solve" {
+		solve = true
+	}
+	if len(os.Args) > 2 && os.Args[2] == "debug" {
+		debugPartition("store_sales", nq)
+		return
+	}
+	cfg := tpcds.Config{SF: 0.02, Seed: 42}
+	simple := len(os.Args) > 3 && os.Args[3] == "wls"
+	if simple {
+		cfg.SF = 0.1
+	}
+	s := tpcds.Schema(cfg)
+	db, err := tpcds.GenerateDB(s, cfg)
+	if err != nil {
+		panic(err)
+	}
+	queries := tpcds.QueriesComplex(s, cfg, nq)
+	if simple {
+		queries = tpcds.QueriesSimple(s, cfg, nq)
+	}
+	t0 := time.Now()
+	w, _, err := engine.WorkloadFromQueries(db, s, "WLc-small", queries)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("workload: %d CCs in %v\n", len(w.CCs), time.Since(t0))
+	views, err := preprocess.BuildViews(s, w)
+	if err != nil {
+		panic(err)
+	}
+	order, _ := s.TopoOrder()
+	for _, tab := range order {
+		v := views[tab.Name]
+		if len(v.CCs) == 0 {
+			continue
+		}
+		t1 := time.Now()
+		f, err := core.FormulateWith(v, core.RegionStrategy)
+		if err != nil {
+			panic(err)
+		}
+		st := f.Stats
+		fmt.Printf("view %-24s ccs=%3d attrs=%2d sv=%2d vars=%7d rows=%5d ccRows=%4d consRows=%5d formulate=%8v",
+			tab.Name, len(v.CCs), len(v.Attrs), st.SubViews, st.Vars, st.Rows, st.CCRows, st.ConsistencyRows, time.Since(t1).Round(time.Millisecond))
+		if solve {
+			sol, err := f.SolveSequential(core.Options{})
+			if err != nil {
+				fmt.Printf(" SOLVE-ERR %v\n", err)
+				continue
+			}
+			fmt.Printf(" solve=%8v nodes=%d pivots=%d soft=%v softres=%d merges=%d fallback=%v", sol.Stats.SolveTime.Round(time.Millisecond), sol.Stats.Nodes, sol.Stats.Pivots, sol.Stats.Soft, sol.Stats.SoftResidual, sol.Stats.SequentialMerges, sol.Stats.SequentialFallback)
+		}
+		fmt.Println()
+	}
+}

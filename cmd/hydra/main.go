@@ -1,0 +1,285 @@
+// Command hydra is the end-to-end regeneration driver: it takes a schema
+// and a cardinality-constraint workload (both JSON), builds the database
+// summary, and can validate, materialize, or sample tuples from it.
+//
+// Subcommands:
+//
+//	summarize   -schema s.json -workload w.json -out summary.json
+//	validate    -schema s.json -workload w.json -summary summary.json
+//	materialize -summary summary.json -dir out/
+//	generate    -summary summary.json -table T [-n 10] [-from 1]
+//	demo        (runs the paper's Figure 1 scenario end to end)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	hydra "github.com/dsl-repro/hydra"
+	"github.com/dsl-repro/hydra/internal/engine"
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summarize":
+		err = cmdSummarize(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "materialize":
+		err = cmdMaterialize(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "hydra: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydra:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `hydra — workload-dependent database regeneration (EDBT 2018)
+
+usage:
+  hydra summarize   -schema s.json -workload w.json -out summary.json
+  hydra validate    -schema s.json -workload w.json -summary summary.json
+  hydra materialize -summary summary.json -dir out/
+  hydra generate    -summary summary.json -table T [-n 10] [-from 1]
+  hydra demo
+`)
+}
+
+func loadInputs(schemaPath, workloadPath string) (*hydra.Schema, *hydra.Workload, error) {
+	s, err := hydra.LoadSchema(schemaPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := hydra.LoadWorkload(workloadPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := w.Validate(s); err != nil {
+		return nil, nil, err
+	}
+	return s, w, nil
+}
+
+func cmdSummarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	schemaPath := fs.String("schema", "", "schema JSON")
+	workloadPath := fs.String("workload", "", "workload JSON")
+	out := fs.String("out", "summary.json", "output summary path")
+	strict := fs.Bool("strict", false, "fail on inconsistent CCs instead of best effort")
+	fs.Parse(args)
+	if *schemaPath == "" || *workloadPath == "" {
+		return fmt.Errorf("summarize: -schema and -workload are required")
+	}
+	s, w, err := loadInputs(*schemaPath, *workloadPath)
+	if err != nil {
+		return err
+	}
+	res, err := hydra.Regenerate(s, w, hydra.Config{Strict: *strict})
+	if err != nil {
+		return err
+	}
+	if err := res.Summary.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("summary: %d relations, %d rows, ~%d bytes\n",
+		len(res.Summary.Relations), res.Summary.NumRows(), res.Summary.SizeBytes())
+	fmt.Printf("build time %v (LP %v, %d variables)\n",
+		res.BuildTime.Round(time.Millisecond), res.SolveTime.Round(time.Millisecond), res.TotalVars)
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	schemaPath := fs.String("schema", "", "schema JSON")
+	workloadPath := fs.String("workload", "", "workload JSON")
+	fs.Parse(args)
+	if *schemaPath == "" || *workloadPath == "" {
+		return fmt.Errorf("validate: -schema and -workload are required")
+	}
+	s, w, err := loadInputs(*schemaPath, *workloadPath)
+	if err != nil {
+		return err
+	}
+	res, err := hydra.Regenerate(s, w, hydra.Config{})
+	if err != nil {
+		return err
+	}
+	reports, err := res.Evaluate(w)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CC\troot\twant\tgot\trel err")
+	exact := 0
+	for _, r := range reports {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%+.4f\n", r.Name, r.Root, r.Want, r.Got, r.RelErr)
+		if r.RelErr == 0 {
+			exact++
+		}
+	}
+	tw.Flush()
+	fmt.Printf("%d/%d CCs exact\n", exact, len(reports))
+	return nil
+}
+
+func cmdMaterialize(args []string) error {
+	fs := flag.NewFlagSet("materialize", flag.ExitOnError)
+	sumPath := fs.String("summary", "", "summary JSON")
+	dir := fs.String("dir", "hydra_db", "output directory for heap files")
+	fs.Parse(args)
+	if *sumPath == "" {
+		return fmt.Errorf("materialize: -summary is required")
+	}
+	sum, err := summary.Load(*sumPath)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(sum.Relations))
+	for name := range sum.Relations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	start := time.Now()
+	var total int64
+	for _, name := range names {
+		gen := engine.NewGenRelation(tuplegen.New(sum.Relations[name]))
+		path := filepath.Join(*dir, name+".heap")
+		d, err := engine.MaterializeToDisk(gen, path)
+		if err != nil {
+			return err
+		}
+		sz, _ := d.SizeBytes()
+		fmt.Printf("  %-24s %12d rows %10.1f MB  %s\n", name, d.NumRows(), float64(sz)/1e6, path)
+		total += d.NumRows()
+	}
+	fmt.Printf("materialized %d tuples in %v\n", total, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	sumPath := fs.String("summary", "", "summary JSON")
+	table := fs.String("table", "", "relation to generate")
+	n := fs.Int64("n", 10, "number of tuples")
+	from := fs.Int64("from", 1, "first primary key")
+	fs.Parse(args)
+	if *sumPath == "" || *table == "" {
+		return fmt.Errorf("generate: -summary and -table are required")
+	}
+	sum, err := summary.Load(*sumPath)
+	if err != nil {
+		return err
+	}
+	gen, err := hydra.NewGenerator(sum, *table)
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(gen.ColNames(), "\t"))
+	var buf []int64
+	for pk := *from; pk < *from+*n && pk <= gen.NumRows(); pk++ {
+		buf = gen.Row(pk, buf)
+		cells := make([]string, len(buf))
+		for i, v := range buf {
+			cells[i] = fmt.Sprintf("%d", v)
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	return nil
+}
+
+// cmdDemo runs the paper's Figure 1 toy scenario end to end, printing the
+// derived summary (the paper's Figure 5) and the CC validation report.
+func cmdDemo(args []string) error {
+	s := hydra.MustSchema(
+		&hydra.Table{Name: "S", Cols: []hydra.Column{
+			{Name: "A", Min: 0, Max: 100}, {Name: "B", Min: 0, Max: 50},
+		}, RowCount: 700},
+		&hydra.Table{Name: "T", Cols: []hydra.Column{{Name: "C", Min: 0, Max: 10}}, RowCount: 1500},
+		&hydra.Table{Name: "R", FKs: []hydra.ForeignKey{
+			{FKCol: "S_fk", Ref: "S"}, {FKCol: "T_fk", Ref: "T"},
+		}, RowCount: 80000},
+	)
+	sa := hydra.AttrRef{Table: "S", Col: "A"}
+	tc := hydra.AttrRef{Table: "T", Col: "C"}
+	rangeDNF := func(attr int, lo, hi int64) pred.DNF {
+		return pred.DNF{Terms: []pred.Conjunct{pred.NewConjunct().With(attr, pred.Range(lo, hi))}}
+	}
+	joinPred := pred.DNF{Terms: []pred.Conjunct{
+		pred.NewConjunct().With(0, pred.Range(20, 59)).With(1, pred.Range(2, 2)),
+	}}
+	w := &hydra.Workload{Name: "figure1", CCs: []hydra.CC{
+		{Root: "R", Pred: pred.True(), Count: 80000, Name: "|R|"},
+		{Root: "S", Pred: pred.True(), Count: 700, Name: "|S|"},
+		{Root: "T", Pred: pred.True(), Count: 1500, Name: "|T|"},
+		{Root: "S", Attrs: []hydra.AttrRef{sa}, Pred: rangeDNF(0, 20, 59), Count: 400, Name: "|σ(S)|"},
+		{Root: "T", Attrs: []hydra.AttrRef{tc}, Pred: rangeDNF(0, 2, 2), Count: 900, Name: "|σ(T)|"},
+		{Root: "R", Attrs: []hydra.AttrRef{sa}, Pred: rangeDNF(0, 20, 59), Count: 50000, Name: "|R⋈σ(S)|"},
+		{Root: "R", Attrs: []hydra.AttrRef{sa, tc}, Pred: joinPred, Count: 30000, Name: "|R⋈σ(S)⋈σ(T)|"},
+	}}
+	res, err := hydra.Regenerate(s, w, hydra.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("database summary (cf. paper Figure 5):")
+	names := []string{"R", "S", "T"}
+	for _, name := range names {
+		rs := res.Summary.Relations[name]
+		fmt.Printf("  %s (|%s| = %d):\n", name, name, rs.Total)
+		cols := append(append([]string{}, rs.Cols...), rs.FKCols...)
+		fmt.Printf("    %-28s %s\n", strings.Join(cols, " "), "count")
+		for _, row := range rs.Rows {
+			vals := make([]string, 0, len(row.Vals)+len(row.FKs))
+			for _, v := range row.Vals {
+				vals = append(vals, fmt.Sprintf("%d", v))
+			}
+			for _, v := range row.FKs {
+				vals = append(vals, fmt.Sprintf("%d", v))
+			}
+			fmt.Printf("    %-28s %d\n", strings.Join(vals, " "), row.Count)
+		}
+	}
+	reports, err := res.Evaluate(w)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nvolumetric validation:")
+	for _, r := range reports {
+		status := "exact"
+		if r.RelErr != 0 {
+			status = fmt.Sprintf("rel err %+.4f", r.RelErr)
+		}
+		fmt.Printf("  %-16s want %8d  got %8d  %s\n", r.Name, r.Want, r.Got, status)
+	}
+	fmt.Printf("\nsummary built in %v; %d summary rows for %d data tuples\n",
+		res.BuildTime.Round(time.Millisecond), res.Summary.NumRows(), 80000+700+1500)
+	return nil
+}

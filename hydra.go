@@ -1,0 +1,168 @@
+// Package hydra is a from-scratch Go implementation of HYDRA, the
+// workload-dependent database regenerator of Sanghi, Sood, Haritsa and
+// Tirthapura, "Scalable and Dynamic Regeneration of Big Data Volumes"
+// (EDBT 2018).
+//
+// Given a relational schema and a set of cardinality constraints (CCs)
+// derived from the client's annotated query plans, Regenerate produces a
+// minuscule database summary whose size is independent of the data scale.
+// The summary can be materialized into a static database or used to
+// generate tuples on-the-fly during query execution, while preserving
+// volumetric similarity: every operator in every workload plan emits
+// (almost exactly) the same row count as at the client.
+//
+// The package is a thin facade; the pipeline lives in internal packages:
+//
+//	preprocess  relation → view transformation (from DataSynth)
+//	viewgraph   chordal decomposition into sub-views
+//	partition   region partitioning (the paper's core contribution)
+//	lp          exact simplex + branch and bound (the Z3 substitute)
+//	core        per-view LP formulation and solving
+//	summary     align/merge, referential consistency, relation summaries
+//	tuplegen    dynamic tuple generation (the engine-side "datagen" scan)
+package hydra
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/cc"
+	"github.com/dsl-repro/hydra/internal/core"
+	"github.com/dsl-repro/hydra/internal/lp"
+	"github.com/dsl-repro/hydra/internal/preprocess"
+	"github.com/dsl-repro/hydra/internal/schema"
+	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+// Re-exported aliases: the full data model is usable through this package
+// alone, which matters because the implementation packages are internal.
+type (
+	// Schema and friends describe the client database layout.
+	Schema     = schema.Schema
+	Table      = schema.Table
+	Column     = schema.Column
+	ForeignKey = schema.ForeignKey
+	AttrRef    = schema.AttrRef
+
+	// CC is a cardinality constraint; Workload is the set shipped by the
+	// client.
+	CC       = cc.CC
+	Workload = cc.Workload
+
+	// Summary is the scale-independent database summary; Generator
+	// produces tuples from one relation summary.
+	Summary         = summary.Summary
+	RelationSummary = summary.RelationSummary
+	ViewSummary     = summary.ViewSummary
+	Generator       = tuplegen.Generator
+	CCReport        = summary.CCReport
+)
+
+// NewSchema validates and builds a schema.
+func NewSchema(tables ...*Table) (*Schema, error) { return schema.New(tables...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(tables ...*Table) *Schema { return schema.MustNew(tables...) }
+
+// SolverBackend selects the LP arithmetic.
+type SolverBackend = lp.Backend
+
+const (
+	// SolverAuto picks exact rational arithmetic for small systems and
+	// float64 (with exact verification) for large ones.
+	SolverAuto = lp.Auto
+	// SolverRational forces exact arithmetic everywhere.
+	SolverRational = lp.Rational
+	// SolverFloat forces float64 relaxations.
+	SolverFloat = lp.Float
+)
+
+// Config tunes Regenerate.
+type Config struct {
+	// Backend selects the LP solver arithmetic (SolverAuto by default).
+	Backend SolverBackend
+	// MaxNodes bounds branch and bound per view (a sensible default when
+	// zero).
+	MaxNodes int
+	// Strict disables the soft (L1-minimizing) fallback for inconsistent
+	// CC sets; Regenerate then fails instead of producing a best-effort
+	// summary.
+	Strict bool
+}
+
+// Result bundles the regeneration outputs.
+type Result struct {
+	// Summary is the database summary (deliverable of §5).
+	Summary *Summary
+	// Views retains the preprocessed view definitions, needed to
+	// evaluate CCs against the summary.
+	Views map[string]*preprocess.View
+	// BuildTime is the end-to-end summary construction wall time; the
+	// paper's headline claim is that this does not depend on data scale.
+	BuildTime time.Duration
+	// TotalVars sums LP variables across views (Fig. 12/17 metric).
+	TotalVars int
+	// SolveTime sums LP solve wall time across views (Fig. 13 metric).
+	SolveTime time.Duration
+}
+
+// Regenerate runs the full vendor-side pipeline of Fig. 2: preprocess the
+// CCs into views, formulate and solve one LP per view using region
+// partitioning, and build the database summary.
+func Regenerate(s *Schema, w *Workload, cfg Config) (*Result, error) {
+	start := time.Now()
+	if err := w.Validate(s); err != nil {
+		return nil, fmt.Errorf("hydra: %w", err)
+	}
+	views, err := preprocess.BuildViews(s, w)
+	if err != nil {
+		return nil, fmt.Errorf("hydra: %w", err)
+	}
+	opts := core.Options{Backend: cfg.Backend, MaxNodes: cfg.MaxNodes, NoSoftFallback: cfg.Strict}
+	sols := make(map[string]*core.ViewSolution, len(views))
+	res := &Result{Views: views}
+	order, err := s.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range order {
+		v := views[t.Name]
+		sol, err := core.FormulateAndSolve(v, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hydra: %w", err)
+		}
+		sols[t.Name] = sol
+		res.TotalVars += sol.Stats.Vars
+		res.SolveTime += sol.Stats.SolveTime
+	}
+	sum, err := summary.Build(s, views, sols)
+	if err != nil {
+		return nil, fmt.Errorf("hydra: %w", err)
+	}
+	res.Summary = sum
+	res.BuildTime = time.Since(start)
+	return res, nil
+}
+
+// Evaluate measures volumetric similarity: the achieved count and relative
+// error of every workload CC against the regenerated summary.
+func (r *Result) Evaluate(w *Workload) ([]CCReport, error) {
+	return summary.Evaluate(r.Summary, r.Views, w)
+}
+
+// NewGenerator returns the dynamic tuple generator for one relation of the
+// summary.
+func NewGenerator(s *Summary, table string) (*Generator, error) {
+	rs, ok := s.Relations[table]
+	if !ok {
+		return nil, fmt.Errorf("hydra: summary has no relation %q", table)
+	}
+	return tuplegen.New(rs), nil
+}
+
+// ErrorCDF computes the percentage of CCs within each |relative error|
+// threshold, the presentation used by the paper's Fig. 10.
+func ErrorCDF(reports []CCReport, thresholds []float64) []float64 {
+	return summary.ErrorCDF(reports, thresholds)
+}

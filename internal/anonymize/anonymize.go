@@ -1,0 +1,155 @@
+// Package anonymize implements the client-side Anonymizer of Hydra's
+// architecture (§3.1): before schema, metadata and CCs leave the client
+// site, identifiers are masked and non-numeric constants are mapped to
+// numbers. The mapping is reversible at the client (only the client keeps
+// the Mapping object); the vendor works entirely on masked, numeric data,
+// which is also why the database summary contains only numeric values.
+package anonymize
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dsl-repro/hydra/internal/cc"
+	"github.com/dsl-repro/hydra/internal/schema"
+)
+
+// Dictionary order-preservingly encodes string values of one client column
+// into int64 codes, the paper's "non-numeric constants appearing in the
+// queries and plans are mapped to numbers". Order preservation keeps range
+// predicates meaningful after encoding.
+type Dictionary struct {
+	codes map[string]int64
+	vals  []string
+}
+
+// NewDictionary builds a dictionary over the given distinct values.
+func NewDictionary(values []string) *Dictionary {
+	uniq := map[string]bool{}
+	for _, v := range values {
+		uniq[v] = true
+	}
+	vals := make([]string, 0, len(uniq))
+	for v := range uniq {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	d := &Dictionary{codes: make(map[string]int64, len(vals)), vals: vals}
+	for i, v := range vals {
+		d.codes[v] = int64(i)
+	}
+	return d
+}
+
+// Encode returns the code for a value, or an error for unknown values.
+func (d *Dictionary) Encode(v string) (int64, error) {
+	c, ok := d.codes[v]
+	if !ok {
+		return 0, fmt.Errorf("anonymize: value %q not in dictionary", v)
+	}
+	return c, nil
+}
+
+// Decode maps a code back to the original value.
+func (d *Dictionary) Decode(c int64) (string, error) {
+	if c < 0 || int(c) >= len(d.vals) {
+		return "", fmt.Errorf("anonymize: code %d out of range", c)
+	}
+	return d.vals[c], nil
+}
+
+// Size returns the number of dictionary entries.
+func (d *Dictionary) Size() int { return len(d.vals) }
+
+// Mapping records how identifiers were masked so the client can reverse
+// the process on anything the vendor sends back.
+type Mapping struct {
+	// Table maps original table name → masked name, Col likewise per
+	// qualified attribute.
+	Table map[string]string
+	Col   map[schema.AttrRef]schema.AttrRef
+
+	revTable map[string]string
+	revCol   map[schema.AttrRef]schema.AttrRef
+}
+
+// Mask produces an anonymized copy of the schema and workload: tables
+// become T1, T2, ... and columns C1, C2, ... in deterministic order.
+// Domains, row counts, predicates and counts are preserved — they are what
+// volumetric similarity is made of — while every client identifier
+// disappears.
+func Mask(s *schema.Schema, w *cc.Workload) (*schema.Schema, *cc.Workload, *Mapping, error) {
+	m := &Mapping{
+		Table:    map[string]string{},
+		Col:      map[schema.AttrRef]schema.AttrRef{},
+		revTable: map[string]string{},
+		revCol:   map[schema.AttrRef]schema.AttrRef{},
+	}
+	names := make([]string, 0, len(s.Tables))
+	for _, t := range s.Tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		masked := fmt.Sprintf("T%d", i+1)
+		m.Table[n] = masked
+		m.revTable[masked] = n
+	}
+	colCounter := 0
+	var maskedTables []*schema.Table
+	for _, t := range s.Tables {
+		nt := &schema.Table{Name: m.Table[t.Name], RowCount: t.RowCount}
+		for _, c := range t.Cols {
+			colCounter++
+			maskedCol := fmt.Sprintf("C%d", colCounter)
+			orig := schema.AttrRef{Table: t.Name, Col: c.Name}
+			masked := schema.AttrRef{Table: nt.Name, Col: maskedCol}
+			m.Col[orig] = masked
+			m.revCol[masked] = orig
+			nt.Cols = append(nt.Cols, schema.Column{Name: maskedCol, Min: c.Min, Max: c.Max})
+		}
+		for fi, fk := range t.FKs {
+			nt.FKs = append(nt.FKs, schema.ForeignKey{
+				FKCol: fmt.Sprintf("F%d_%d", len(maskedTables)+1, fi+1),
+				Ref:   m.Table[fk.Ref],
+			})
+		}
+		maskedTables = append(maskedTables, nt)
+	}
+	ms, err := schema.New(maskedTables...)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("anonymize: masked schema invalid: %w", err)
+	}
+	mw := &cc.Workload{Name: w.Name + "-masked"}
+	for i := range w.CCs {
+		c := w.CCs[i]
+		nc := cc.CC{Root: m.Table[c.Root], Pred: c.Pred, Count: c.Count, Name: fmt.Sprintf("cc%d", i+1)}
+		for _, a := range c.Attrs {
+			ma, ok := m.Col[a]
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("anonymize: cc %s references unknown attribute %s", c.Name, a)
+			}
+			nc.Attrs = append(nc.Attrs, ma)
+		}
+		mw.CCs = append(mw.CCs, nc)
+	}
+	return ms, mw, m, nil
+}
+
+// UnmaskTable reverses a masked table name.
+func (m *Mapping) UnmaskTable(masked string) (string, error) {
+	n, ok := m.revTable[masked]
+	if !ok {
+		return "", fmt.Errorf("anonymize: unknown masked table %q", masked)
+	}
+	return n, nil
+}
+
+// UnmaskAttr reverses a masked attribute.
+func (m *Mapping) UnmaskAttr(masked schema.AttrRef) (schema.AttrRef, error) {
+	a, ok := m.revCol[masked]
+	if !ok {
+		return schema.AttrRef{}, fmt.Errorf("anonymize: unknown masked attribute %s", masked)
+	}
+	return a, nil
+}

@@ -1,0 +1,139 @@
+package anonymize
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dsl-repro/hydra/internal/cc"
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/schema"
+)
+
+func clientSchema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Table{Name: "orders_secret", Cols: []schema.Column{
+			{Name: "order_priority", Min: 0, Max: 4},
+		}, FKs: []schema.ForeignKey{{FKCol: "cust_fk", Ref: "customers_secret"}}, RowCount: 100},
+		&schema.Table{Name: "customers_secret", Cols: []schema.Column{
+			{Name: "acct_balance", Min: -1000, Max: 100000},
+		}, RowCount: 10},
+	)
+}
+
+func clientWorkload() *cc.Workload {
+	return &cc.Workload{Name: "wl", CCs: []cc.CC{
+		{Root: "orders_secret", Pred: pred.True(), Count: 100, Name: "size"},
+		{Root: "orders_secret",
+			Attrs: []schema.AttrRef{{Table: "customers_secret", Col: "acct_balance"}},
+			Pred:  pred.DNF{Terms: []pred.Conjunct{pred.NewConjunct().With(0, pred.AtLeast(0))}},
+			Count: 80, Name: "join"},
+	}}
+}
+
+func TestMaskHidesIdentifiers(t *testing.T) {
+	ms, mw, _, err := Mask(clientSchema(), clientWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range ms.Tables {
+		if strings.Contains(tab.Name, "secret") {
+			t.Fatalf("table name leaked: %s", tab.Name)
+		}
+		for _, c := range tab.Cols {
+			if strings.Contains(c.Name, "balance") || strings.Contains(c.Name, "priority") {
+				t.Fatalf("column name leaked: %s", c.Name)
+			}
+		}
+	}
+	for i := range mw.CCs {
+		for _, a := range mw.CCs[i].Attrs {
+			if strings.Contains(a.Table, "secret") || strings.Contains(a.Col, "acct") {
+				t.Fatalf("CC attr leaked: %s", a)
+			}
+		}
+	}
+}
+
+func TestMaskPreservesStructure(t *testing.T) {
+	s := clientSchema()
+	w := clientWorkload()
+	ms, mw, _, err := Mask(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Tables) != len(s.Tables) || len(mw.CCs) != len(w.CCs) {
+		t.Fatal("structure changed")
+	}
+	// Domains, counts and row counts must survive: they carry the
+	// volumetric information.
+	for i, tab := range s.Tables {
+		if ms.Tables[i].RowCount != tab.RowCount {
+			t.Fatal("row count changed")
+		}
+		for j, c := range tab.Cols {
+			mc := ms.Tables[i].Cols[j]
+			if mc.Min != c.Min || mc.Max != c.Max {
+				t.Fatal("domain changed")
+			}
+		}
+	}
+	// Masked workload must validate against the masked schema.
+	if err := mw.Validate(ms); err != nil {
+		t.Fatalf("masked workload invalid: %v", err)
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	s := clientSchema()
+	ms, mw, m, err := Mask(s, clientWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range ms.Tables {
+		orig, err := m.UnmaskTable(tab.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Table(orig); !ok {
+			t.Fatalf("unmasked to unknown table %s", orig)
+		}
+	}
+	for i := range mw.CCs {
+		for _, a := range mw.CCs[i].Attrs {
+			orig, err := m.UnmaskAttr(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, _ := s.Table(orig.Table)
+			if _, ok := tab.Col(orig.Col); !ok {
+				t.Fatalf("unmasked to unknown column %s", orig)
+			}
+		}
+	}
+	if _, err := m.UnmaskTable("nope"); err == nil {
+		t.Fatal("unknown masked table must error")
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	d := NewDictionary([]string{"red", "green", "blue", "green"})
+	if d.Size() != 3 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	// Order preservation: blue < green < red alphabetically.
+	b, _ := d.Encode("blue")
+	g, _ := d.Encode("green")
+	r, _ := d.Encode("red")
+	if !(b < g && g < r) {
+		t.Fatalf("order not preserved: %d %d %d", b, g, r)
+	}
+	if v, err := d.Decode(g); err != nil || v != "green" {
+		t.Fatalf("decode broken: %q %v", v, err)
+	}
+	if _, err := d.Encode("purple"); err == nil {
+		t.Fatal("unknown value must error")
+	}
+	if _, err := d.Decode(99); err == nil {
+		t.Fatal("unknown code must error")
+	}
+}

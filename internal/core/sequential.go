@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/lp"
+)
+
+// traceSequential enables per-group solver tracing to stderr when the
+// HYDRA_TRACE environment variable is non-empty.
+var traceSequential = os.Getenv("HYDRA_TRACE") != ""
+
+// SolveSequential solves the view's sub-views along the clique tree
+// instead of as one joint LP: each sub-view's problem contains its own CC
+// rows and total, plus equality rows pinning its separator marginals to
+// the already-solved parent values.
+//
+// The decomposition is not complete — a greedy parent assignment can paint
+// a descendant into an infeasible corner — so failures trigger *group
+// merging*: the failing sub-view is fused with its parent's group and the
+// (cheap) pass restarts, with fused groups solved as one LP including
+// their internal consistency rows. In the worst case every sub-view fuses
+// into a single group, which is exactly the joint LP; in practice groups
+// stay tiny and wide fact views solve in milliseconds instead of minutes.
+// The trade-off is measured by BenchmarkAblation_JointVsSequential.
+func (f *Formulation) SolveSequential(opts Options) (*ViewSolution, error) {
+	start := time.Now()
+	n := len(f.cliques)
+	if n == 0 {
+		f.Stats.SolveTime = time.Since(start)
+		return &ViewSolution{View: f.View, Stats: f.Stats}, nil
+	}
+
+	// Parent edge per sub-view position (preorder ⇒ parent solved first).
+	parentEdge := make(map[int]svEdge, len(f.edges))
+	for _, e := range f.edges {
+		parentEdge[e.child] = e
+	}
+
+	// group[i] is the group root of sub-view i (union-find with path
+	// halving; roots are the smallest preorder position in the group).
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	find := func(i int) int {
+		for group[i] != i {
+			group[i] = group[group[i]]
+			i = group[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		group[rb] = ra
+	}
+
+	nodesTotal, pivotsTotal := 0, 0
+	counts := make([][]int64, n)
+
+	const maxPasses = 64 // ≥ n merges can never be needed; belt and braces
+	for pass := 0; ; pass++ {
+		if pass > maxPasses || pass > n {
+			// Every merge reduces the group count, so this is
+			// unreachable; fall back to the joint solve for safety.
+			vs, jerr := f.Solve(opts)
+			if jerr != nil {
+				return nil, fmt.Errorf("core: view %s: sequential merging did not converge and joint solving failed: %w", f.View.Table.Name, jerr)
+			}
+			vs.Stats.SequentialFallback = true
+			return vs, nil
+		}
+		members := make(map[int][]int, n)
+		for i := 0; i < n; i++ {
+			r := find(i)
+			members[r] = append(members[r], i)
+		}
+		failedAt := -1
+		for root := 0; root < n && failedAt == -1; root++ {
+			ms, ok := members[root]
+			if !ok {
+				continue
+			}
+			gStart := time.Now()
+			sol, err := f.solveGroup(ms, parentEdge, counts, opts)
+			if traceSequential {
+				nv := 0
+				for _, m := range ms {
+					nv += len(f.regions[m])
+				}
+				status := "ok"
+				if err != nil {
+					status = "err:" + err.Error()
+				} else if !sol.Exact {
+					status = "inexact"
+				}
+				fmt.Fprintf(os.Stderr, "[hydra-trace] view=%s pass=%d group=%d members=%d vars=%d %s in %v\n",
+					f.View.Table.Name, pass, root, len(ms), nv, status, time.Since(gStart).Round(time.Millisecond))
+			}
+			if err != nil || !sol.Exact {
+				failedAt = root
+				break
+			}
+			// Scatter the group solution into per-sub-view counts.
+			base := 0
+			for _, m := range ms {
+				counts[m] = sol.X[base : base+len(f.regions[m])]
+				base += len(f.regions[m])
+			}
+			nodesTotal += sol.Nodes
+			pivotsTotal += sol.Pivots
+		}
+		if failedAt == -1 {
+			break // all groups solved
+		}
+		// Merge the failing group with its parent's group and retry. A
+		// failing root group (no parent edge) means the CC system itself
+		// is infeasible at view level: defer to the joint path, whose
+		// soft fallback produces the best-effort answer.
+		e, ok := parentEdge[failedAt]
+		if !ok || find(e.parent) == find(failedAt) {
+			vs, jerr := f.Solve(opts)
+			if jerr != nil {
+				return nil, fmt.Errorf("core: view %s: sequential and joint solving failed: %w", f.View.Table.Name, jerr)
+			}
+			vs.Stats.SequentialFallback = true
+			return vs, nil
+		}
+		union(e.parent, failedAt)
+		f.Stats.SequentialMerges++
+	}
+
+	f.Stats.SolveTime = time.Since(start)
+	f.Stats.Nodes = nodesTotal
+	f.Stats.Pivots = pivotsTotal
+	vs := &ViewSolution{View: f.View, Stats: f.Stats}
+	for si, cl := range f.cliques {
+		sv := SubViewSolution{Attrs: cl, AllRegions: len(f.regions[si])}
+		for ri, r := range f.regions[si] {
+			if counts[si][ri] > 0 {
+				sv.Rows = append(sv.Rows, RegionCount{Region: r, Rep: r.Rep(), Count: counts[si][ri]})
+			}
+		}
+		vs.SubViews = append(vs.SubViews, sv)
+	}
+	vs.Stats = f.Stats
+	return vs, nil
+}
+
+// solveGroup formulates and solves the LP of one group: per-member CC rows
+// and totals, internal consistency rows for tree edges within the group,
+// pinned separator marginals for edges whose parent lies outside (always
+// already solved, by preorder).
+func (f *Formulation) solveGroup(ms []int, parentEdge map[int]svEdge, counts [][]int64, opts Options) (*lp.IntSolution, error) {
+	inGroup := make(map[int]bool, len(ms))
+	base := make(map[int]int, len(ms))
+	nv := 0
+	for _, m := range ms {
+		inGroup[m] = true
+		base[m] = nv
+		nv += len(f.regions[m])
+	}
+	prob := &lp.Problem{NumVars: nv}
+
+	for _, m := range ms {
+		// CC rows.
+		for bit, ci := range f.ccBits[m] {
+			if ci == -1 {
+				continue
+			}
+			var vars []int
+			for ri, r := range f.regions[m] {
+				if r.Label.Has(bit) {
+					vars = append(vars, base[m]+ri)
+				}
+			}
+			prob.AddEq(vars, f.View.CCs[ci].Count, fmt.Sprintf("%s@sv%d", f.View.CCs[ci].Name, m))
+		}
+		// Total row.
+		all := make([]int, len(f.regions[m]))
+		for ri := range all {
+			all[ri] = base[m] + ri
+		}
+		prob.AddEq(all, f.View.Total, fmt.Sprintf("total@sv%d", m))
+		// Separator rows toward the parent.
+		e, ok := parentEdge[m]
+		if !ok {
+			continue
+		}
+		childCells := localCellGroups(f, m, e.sep)
+		if inGroup[e.parent] {
+			// Internal edge: equate marginals between the two members.
+			parentCells := localCellGroups(f, e.parent, e.sep)
+			keys := map[string]bool{}
+			for k := range childCells {
+				keys[k] = true
+			}
+			for k := range parentCells {
+				keys[k] = true
+			}
+			for k := range keys {
+				var entries []lp.Entry
+				for _, ri := range childCells[k] {
+					entries = append(entries, lp.Entry{Var: base[m] + ri, Coef: 1})
+				}
+				for _, ri := range parentCells[k] {
+					entries = append(entries, lp.Entry{Var: base[e.parent] + ri, Coef: -1})
+				}
+				prob.AddRow(lp.Row{Entries: entries, Rel: lp.EQ, RHS: 0, Name: fmt.Sprintf("cons@sv%d~sv%d", m, e.parent)})
+			}
+		} else {
+			// External edge: the parent is solved; pin the marginals.
+			parentCells := localCellGroups(f, e.parent, e.sep)
+			keys := map[string]bool{}
+			for k := range childCells {
+				keys[k] = true
+			}
+			for k := range parentCells {
+				keys[k] = true
+			}
+			for k := range keys {
+				var msum int64
+				for _, ri := range parentCells[k] {
+					msum += counts[e.parent][ri]
+				}
+				vars := make([]int, len(childCells[k]))
+				for i, ri := range childCells[k] {
+					vars[i] = base[m] + ri
+				}
+				prob.AddEq(vars, msum, fmt.Sprintf("sep@sv%d:%x", m, k))
+			}
+		}
+	}
+	// Deliberately no speculative constraints from outside the group:
+	// earlier designs injected implied projections of later CCs as ≥
+	// bounds, but inequality rows push the relaxation optimum onto
+	// fractional vertices and branch and bound burns its budget there.
+	// Failing fast and letting the caller merge groups converges much
+	// faster and is exact by construction.
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		// Small budget per group: exhaustion is a signal to merge, not to
+		// search deeper.
+		maxNodes = 256
+	}
+	return lp.SolveInteger(prob, lp.IntOptions{Backend: opts.Backend, MaxNodes: maxNodes})
+}
+
+// localCellGroups buckets sub-view si's regions (local indices) by their
+// atom-cell key over the separator dims.
+func localCellGroups(f *Formulation, si int, sep []int) map[string][]int {
+	cl := f.cliques[si]
+	local := localIndex(cl)
+	out := map[string][]int{}
+	for ri, r := range f.regions[si] {
+		rep := r.Rep()
+		key := make([]byte, 0, len(sep)*4)
+		for _, a := range sep {
+			ai := atomIndex(f.atoms[a], rep[local[a]])
+			key = append(key, byte(ai), byte(ai>>8), byte(ai>>16), byte(ai>>24))
+		}
+		out[string(key)] = append(out[string(key)], ri)
+	}
+	return out
+}
+
+func localIndex(clique []int) map[int]int {
+	out := make(map[int]int, len(clique))
+	for i, a := range clique {
+		out[a] = i
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package datasynth
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/dsl-repro/hydra/internal/cc"
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/preprocess"
+	"github.com/dsl-repro/hydra/internal/schema"
+	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+func personSchema() *schema.Schema {
+	return schema.MustNew(&schema.Table{
+		Name: "Person",
+		Cols: []schema.Column{
+			{Name: "age", Min: 0, Max: 99},
+			{Name: "salary", Min: 0, Max: 99_999},
+		},
+		RowCount: 8000,
+	})
+}
+
+func personWorkload() *cc.Workload {
+	age := schema.AttrRef{Table: "Person", Col: "age"}
+	sal := schema.AttrRef{Table: "Person", Col: "salary"}
+	return &cc.Workload{Name: "person", CCs: []cc.CC{
+		{Root: "Person", Pred: pred.True(), Count: 8000, Name: "size"},
+		{Root: "Person", Attrs: []schema.AttrRef{age, sal},
+			Pred: pred.DNF{Terms: []pred.Conjunct{
+				pred.NewConjunct().With(0, pred.AtMost(39)).With(1, pred.AtMost(39_999)),
+			}},
+			Count: 1000, Name: "cc1"},
+		{Root: "Person", Attrs: []schema.AttrRef{age, sal},
+			Pred: pred.DNF{Terms: []pred.Conjunct{
+				pred.NewConjunct().With(0, pred.Range(20, 59)).With(1, pred.Range(20_000, 59_999)),
+			}},
+			Count: 2000, Name: "cc2"},
+	}}
+}
+
+func TestGridVarsPersonExample(t *testing.T) {
+	views, err := preprocess.BuildViews(personSchema(), personWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both constraints cover {age, salary}: one sub-view, 4×4 grid = 16
+	// variables — the paper's Fig. 3a/4a.
+	vars := GridVars(views["Person"])
+	if vars.Int64() != 16 {
+		t.Fatalf("grid vars = %v, want 16", vars)
+	}
+}
+
+func TestRegenerateSingleTableApproximate(t *testing.T) {
+	s := personSchema()
+	w := personWorkload()
+	res, err := Regenerate(s, w, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := summary.Evaluate(res.Summary, res.Views, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tuple is drawn multinomially (per §3.2's description of
+	// DataSynth), so counts deviate by O(√N) — close, usually not exact.
+	// This is precisely the sampling error Fig. 10 charges DataSynth
+	// with; the total size is exact because exactly Total draws happen.
+	exact := 0
+	for _, r := range reports {
+		if math.Abs(r.RelErr) > 0.10 {
+			t.Errorf("CC %s error beyond sampling noise: want %d got %d", r.Name, r.Want, r.Got)
+		}
+		if r.RelErr == 0 {
+			exact++
+		}
+		if r.Name == "size" && r.RelErr != 0 {
+			t.Errorf("size CC must be exact, got %d", r.Got)
+		}
+	}
+	if exact == len(reports) {
+		t.Log("note: all CCs exact on this seed; sampling noise usually prevents this")
+	}
+}
+
+func multiTableSchema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Table{Name: "S", Cols: []schema.Column{
+			{Name: "A", Min: 0, Max: 100}, {Name: "B", Min: 0, Max: 50},
+		}, RowCount: 700},
+		&schema.Table{Name: "R", FKs: []schema.ForeignKey{{FKCol: "S_fk", Ref: "S"}}, RowCount: 9000},
+	)
+}
+
+func multiTableWorkload() *cc.Workload {
+	sa := schema.AttrRef{Table: "S", Col: "A"}
+	sb := schema.AttrRef{Table: "S", Col: "B"}
+	in := func(attr int, lo, hi int64) pred.DNF {
+		return pred.DNF{Terms: []pred.Conjunct{pred.NewConjunct().With(attr, pred.Range(lo, hi))}}
+	}
+	// Two CCs with disjoint attrs create two sub-views {A} and {B} in
+	// S_view and R_view... except the joint CC links them in R_view.
+	joint := pred.DNF{Terms: []pred.Conjunct{
+		pred.NewConjunct().With(0, pred.Range(20, 59)).With(1, pred.Range(10, 29)),
+	}}
+	return &cc.Workload{Name: "multi", CCs: []cc.CC{
+		{Root: "S", Pred: pred.True(), Count: 700, Name: "sizeS"},
+		{Root: "R", Pred: pred.True(), Count: 9000, Name: "sizeR"},
+		{Root: "S", Attrs: []schema.AttrRef{sa}, Pred: in(0, 20, 59), Count: 300, Name: "selSA"},
+		{Root: "S", Attrs: []schema.AttrRef{sb}, Pred: in(0, 10, 29), Count: 250, Name: "selSB"},
+		{Root: "R", Attrs: []schema.AttrRef{sa}, Pred: in(0, 20, 59), Count: 5000, Name: "joinA"},
+		{Root: "R", Attrs: []schema.AttrRef{sa, sb}, Pred: joint, Count: 2000, Name: "joinAB"},
+	}}
+}
+
+func TestRegenerateMultiTableApproximate(t *testing.T) {
+	s := multiTableSchema()
+	w := multiTableWorkload()
+	res, err := Regenerate(s, w, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := summary.Evaluate(res.Summary, res.Views, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling-based instantiation should be close but need not be exact;
+	// the whole point of Fig. 10 is that it usually is not.
+	for _, r := range reports {
+		if math.Abs(r.RelErr) > 0.25 {
+			t.Errorf("CC %s error too large even for sampling: want %d got %d", r.Name, r.Want, r.Got)
+		}
+	}
+	// Referential integrity must hold exactly: every R_view combo exists
+	// in S_view.
+	if res.Summary.Relations["S"].Total < 700 {
+		t.Errorf("|S| = %d, cannot shrink below 700", res.Summary.Relations["S"].Total)
+	}
+}
+
+func TestSolverCapacityCrash(t *testing.T) {
+	// Many multi-attribute CCs over a wide table make the grid explode.
+	cols := make([]schema.Column, 6)
+	for i := range cols {
+		cols[i] = schema.Column{Name: string(rune('a' + i)), Min: 0, Max: 1_000_000}
+	}
+	s := schema.MustNew(&schema.Table{Name: "W", Cols: cols, RowCount: 100000})
+	w := &cc.Workload{Name: "explode"}
+	w.CCs = append(w.CCs, cc.CC{Root: "W", Pred: pred.True(), Count: 100000, Name: "size"})
+	for k := 0; k < 12; k++ {
+		conj := pred.NewConjunct()
+		var attrs []schema.AttrRef
+		for i := 0; i < 6; i++ {
+			lo := int64(k*50_000 + i*1000)
+			conj = conj.With(i, pred.Range(lo, lo+40_000))
+			attrs = append(attrs, schema.AttrRef{Table: "W", Col: cols[i].Name})
+		}
+		w.CCs = append(w.CCs, cc.CC{
+			Root: "W", Attrs: attrs,
+			Pred:  pred.DNF{Terms: []pred.Conjunct{conj}},
+			Count: int64(100 * (k + 1)), Name: "wide",
+		})
+	}
+	_, err := Regenerate(s, w, Options{Seed: 1})
+	var cap *ErrSolverCapacity
+	if !errors.As(err, &cap) {
+		t.Fatalf("expected ErrSolverCapacity, got %v", err)
+	}
+	if cap.Cells.IsInt64() && cap.Cells.Int64() <= DefaultMaxCells {
+		t.Fatalf("crash reported but cells %v under cap", cap.Cells)
+	}
+}
+
+func TestGridNeverBeatsRegionOnVars(t *testing.T) {
+	views, err := preprocess.BuildViews(multiTableSchema(), multiTableWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range views {
+		grid := GridVars(v)
+		var regionVars int64
+		for _, in := range SubViewInputsForTest(v) {
+			regions, err := GridStrategy(name, 1<<40)(in.Space, in.Cons)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regionVars += int64(len(regions))
+		}
+		if !grid.IsInt64() || grid.Int64() != regionVars {
+			t.Fatalf("analytic grid vars %v != enumerated %d for %s", grid, regionVars, name)
+		}
+	}
+}

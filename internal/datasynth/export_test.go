@@ -1,0 +1,12 @@
+package datasynth
+
+import (
+	"github.com/dsl-repro/hydra/internal/core"
+	"github.com/dsl-repro/hydra/internal/preprocess"
+)
+
+// SubViewInputsForTest re-exports the core decomposition for white-box
+// assertions in this package's tests.
+func SubViewInputsForTest(v *preprocess.View) []core.SubViewInput {
+	return core.SubViewInputs(v)
+}

@@ -1,0 +1,157 @@
+package datasynth
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/dsl-repro/hydra/internal/core"
+	"github.com/dsl-repro/hydra/internal/preprocess"
+	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+// sampleViewSummary instantiates a view the DataSynth way (§3.2, §5.1 of
+// the paper): the first sub-view's solution is treated as a joint
+// distribution, every later sub-view as a distribution conditioned on the
+// shared attributes, and Total tuples are drawn independently. The result
+// is tallied into a view summary so the shared pipeline tail can consume
+// it. Work and error both scale with the tuple count — the two
+// disadvantages Hydra's deterministic alignment removes.
+func sampleViewSummary(v *preprocess.View, sol *core.ViewSolution, rng *rand.Rand) (*summary.ViewSummary, error) {
+	vs := &summary.ViewSummary{Table: v.Table.Name, Attrs: v.Attrs}
+	if v.Total == 0 {
+		return vs, nil
+	}
+	if len(v.Attrs) == 0 {
+		vs.Rows = []summary.ViewRow{{Vals: []int64{}, Count: v.Total}}
+		return vs, nil
+	}
+	if len(sol.SubViews) == 0 {
+		return nil, fmt.Errorf("no sub-view solutions")
+	}
+
+	type dist struct {
+		rows []core.RegionCount
+		cum  []int64 // cumulative counts
+	}
+	mkDist := func(rows []core.RegionCount) dist {
+		d := dist{rows: rows, cum: make([]int64, len(rows))}
+		var c int64
+		for i, r := range rows {
+			c += r.Count
+			d.cum[i] = c
+		}
+		return d
+	}
+	sample := func(d dist) core.RegionCount {
+		total := d.cum[len(d.cum)-1]
+		x := rng.Int63n(total) + 1
+		i := sort.Search(len(d.cum), func(j int) bool { return d.cum[j] >= x })
+		return d.rows[i]
+	}
+
+	// Precompute, per later sub-view, the conditional groups keyed by
+	// shared-attribute values.
+	first := sol.SubViews[0]
+	if len(first.Rows) == 0 {
+		return nil, fmt.Errorf("empty first sub-view solution")
+	}
+	firstDist := mkDist(first.Rows)
+
+	type condSV struct {
+		attrs     []int
+		sharedSv  []int // positions of shared attrs within the sub-view
+		sharedAcc []int // view-attr ids of the shared attrs
+		newPos    []int // positions of new attrs within the sub-view
+		newAttrs  []int
+		groups    map[string]dist
+		fallback  dist
+	}
+	accAttrSet := map[int]bool{}
+	for _, a := range first.Attrs {
+		accAttrSet[a] = true
+	}
+	var conds []condSV
+	for _, sv := range sol.SubViews[1:] {
+		c := condSV{attrs: sv.Attrs}
+		for i, a := range sv.Attrs {
+			if accAttrSet[a] {
+				c.sharedSv = append(c.sharedSv, i)
+				c.sharedAcc = append(c.sharedAcc, a)
+			} else {
+				c.newPos = append(c.newPos, i)
+				c.newAttrs = append(c.newAttrs, a)
+			}
+		}
+		groups := map[string][]core.RegionCount{}
+		for _, r := range sv.Rows {
+			key := make([]byte, 8*len(c.sharedSv))
+			for i, p := range c.sharedSv {
+				binary.LittleEndian.PutUint64(key[i*8:], uint64(r.Rep[p]))
+			}
+			groups[string(key)] = append(groups[string(key)], r)
+		}
+		c.groups = make(map[string]dist, len(groups))
+		for k, rows := range groups {
+			c.groups[k] = mkDist(rows)
+		}
+		if len(sv.Rows) > 0 {
+			c.fallback = mkDist(sv.Rows)
+		}
+		for _, a := range c.newAttrs {
+			accAttrSet[a] = true
+		}
+		conds = append(conds, c)
+	}
+
+	// Draw Total tuples.
+	vals := make([]int64, len(v.Attrs)) // indexed by view-attr id
+	tally := map[string]int64{}
+	keyBuf := make([]byte, 8*len(v.Attrs))
+	for n := int64(0); n < v.Total; n++ {
+		r := sample(firstDist)
+		for i, a := range first.Attrs {
+			vals[a] = r.Rep[i]
+		}
+		for _, c := range conds {
+			key := make([]byte, 8*len(c.sharedAcc))
+			for i, a := range c.sharedAcc {
+				binary.LittleEndian.PutUint64(key[i*8:], uint64(vals[a]))
+			}
+			d, ok := c.groups[string(key)]
+			if !ok {
+				// Marginal drift from sampling: fall back to the
+				// unconditional distribution (this is a source of
+				// DataSynth's volumetric error).
+				d = c.fallback
+			}
+			if len(d.rows) == 0 {
+				return nil, fmt.Errorf("sub-view has no rows to sample")
+			}
+			rr := sample(d)
+			for _, p := range c.newPos {
+				vals[c.attrs[p]] = rr.Rep[p]
+			}
+		}
+		for i, x := range vals {
+			binary.LittleEndian.PutUint64(keyBuf[i*8:], uint64(x))
+		}
+		tally[string(keyBuf)]++
+	}
+
+	// Materialize the tally as a sorted view summary.
+	keys := make([]string, 0, len(tally))
+	for k := range tally {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		row := summary.ViewRow{Vals: make([]int64, len(v.Attrs)), Count: tally[k]}
+		for i := range row.Vals {
+			row.Vals[i] = int64(binary.LittleEndian.Uint64([]byte(k)[i*8:]))
+		}
+		vs.Rows = append(vs.Rows, row)
+	}
+	return vs, nil
+}

@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/schema"
+)
+
+// toySchema is the Figure 1 layout: R → S, R → T.
+func toySchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	return schema.MustNew(
+		&schema.Table{Name: "S", Cols: []schema.Column{{Name: "A", Min: 0, Max: 100}, {Name: "B", Min: 0, Max: 50}}},
+		&schema.Table{Name: "T", Cols: []schema.Column{{Name: "C", Min: 0, Max: 10}}},
+		&schema.Table{Name: "R", FKs: []schema.ForeignKey{{FKCol: "S_fk", Ref: "S"}, {FKCol: "T_fk", Ref: "T"}}},
+	)
+}
+
+// toyDB builds a small deterministic client database on the toy schema.
+func toyDB(t testing.TB, s *schema.Schema, nS, nT, nR int, seed int64) *Database {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := NewDatabase()
+	sRel := NewMemRelation("S", ColLayout(s.MustTable("S")))
+	for i := 1; i <= nS; i++ {
+		sRel.Append([]int64{int64(i), int64(rng.Intn(101)), int64(rng.Intn(51))})
+	}
+	tRel := NewMemRelation("T", ColLayout(s.MustTable("T")))
+	for i := 1; i <= nT; i++ {
+		tRel.Append([]int64{int64(i), int64(rng.Intn(11))})
+	}
+	rRel := NewMemRelation("R", ColLayout(s.MustTable("R")))
+	for i := 1; i <= nR; i++ {
+		rRel.Append([]int64{int64(i), int64(1 + rng.Intn(nS)), int64(1 + rng.Intn(nT))})
+	}
+	db.Add(sRel)
+	db.Add(tRel)
+	db.Add(rRel)
+	return db
+}
+
+func toyQuery() *Query {
+	return &Query{
+		Name: "q1",
+		Root: "R",
+		Joins: []JoinStep{
+			{Table: "S", Via: "R"},
+			{Table: "T", Via: "R"},
+		},
+		Filters: map[string]pred.DNF{
+			"S": {Terms: []pred.Conjunct{pred.NewConjunct().With(0, pred.Range(20, 59))}},
+			"T": {Terms: []pred.Conjunct{pred.NewConjunct().With(0, pred.Range(2, 2))}},
+		},
+	}
+}
+
+// bruteForce recomputes the query result size by nested loops.
+func bruteForce(db *Database, q *Query, s *schema.Schema) (selS, selT, joinRS, joinRST int64) {
+	sRel := db.Rels["S"].(*MemRelation)
+	tRel := db.Rels["T"].(*MemRelation)
+	rRel := db.Rels["R"].(*MemRelation)
+	sOK := map[int64]bool{}
+	for i := 0; i < int(sRel.NumRows()); i++ {
+		row := sRel.Row(i)
+		if row[1] >= 20 && row[1] < 60 {
+			sOK[row[0]] = true
+			selS++
+		}
+	}
+	tOK := map[int64]bool{}
+	for i := 0; i < int(tRel.NumRows()); i++ {
+		row := tRel.Row(i)
+		if row[1] == 2 {
+			tOK[row[0]] = true
+			selT++
+		}
+	}
+	for i := 0; i < int(rRel.NumRows()); i++ {
+		row := rRel.Row(i)
+		if sOK[row[1]] {
+			joinRS++
+			if tOK[row[2]] {
+				joinRST++
+			}
+		}
+	}
+	return
+}
+
+func TestExecuteMatchesBruteForce(t *testing.T) {
+	s := toySchema(t)
+	db := toyDB(t, s, 50, 10, 2000, 42)
+	q := toyQuery()
+	aqp, err := Execute(db, s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selS, selT, joinRS, joinRST := bruteForce(db, q, s)
+	if aqp.FilterOut["S"] != selS || aqp.FilterOut["T"] != selT {
+		t.Fatalf("filters: got S=%d T=%d, want S=%d T=%d", aqp.FilterOut["S"], aqp.FilterOut["T"], selS, selT)
+	}
+	if aqp.JoinOut[0] != joinRS || aqp.JoinOut[1] != joinRST {
+		t.Fatalf("joins: got %v, want [%d %d]", aqp.JoinOut, joinRS, joinRST)
+	}
+	if aqp.Base["R"] != 2000 || aqp.Base["S"] != 50 || aqp.Base["T"] != 10 {
+		t.Fatalf("base cards wrong: %v", aqp.Base)
+	}
+}
+
+// Property: pipelined hash-join execution equals brute force across random
+// databases.
+func TestQuickExecuteEqualsBruteForce(t *testing.T) {
+	s := toySchema(t)
+	f := func(seed int64) bool {
+		db := toyDB(t, s, 20, 5, 300, seed)
+		aqp, err := Execute(db, s, toyQuery())
+		if err != nil {
+			return false
+		}
+		selS, selT, joinRS, joinRST := bruteForce(db, toyQuery(), s)
+		return aqp.FilterOut["S"] == selS && aqp.FilterOut["T"] == selT &&
+			aqp.JoinOut[0] == joinRS && aqp.JoinOut[1] == joinRST
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToCCsShape(t *testing.T) {
+	s := toySchema(t)
+	db := toyDB(t, s, 50, 10, 2000, 7)
+	aqp, err := Execute(db, s, toyQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccs := aqp.ToCCs(s)
+	// 3 size CCs + 2 filter CCs + 2 join CCs = 7, the Figure 1d tally.
+	if len(ccs) != 7 {
+		t.Fatalf("got %d CCs, want 7: %v", len(ccs), ccs)
+	}
+	for _, c := range ccs {
+		if err := c.Validate(s); err != nil {
+			t.Fatalf("CC %s invalid: %v", c.Name, err)
+		}
+	}
+	// The final join CC must be rooted at R with both attrs.
+	last := ccs[len(ccs)-1]
+	if last.Root != "R" || len(last.Attrs) != 2 {
+		t.Fatalf("final join CC malformed: %+v", last)
+	}
+}
+
+func TestSnowflakeJoinVia(t *testing.T) {
+	// C → B → A chain; query root C joins B via C, then A via B.
+	s := schema.MustNew(
+		&schema.Table{Name: "A", Cols: []schema.Column{{Name: "x", Min: 0, Max: 9}}},
+		&schema.Table{Name: "B", Cols: []schema.Column{{Name: "y", Min: 0, Max: 9}}, FKs: []schema.ForeignKey{{FKCol: "a_fk", Ref: "A"}}},
+		&schema.Table{Name: "C", FKs: []schema.ForeignKey{{FKCol: "b_fk", Ref: "B"}}},
+	)
+	db := NewDatabase()
+	a := NewMemRelation("A", ColLayout(s.MustTable("A")))
+	a.Append([]int64{1, 3})
+	a.Append([]int64{2, 7})
+	b := NewMemRelation("B", ColLayout(s.MustTable("B")))
+	b.Append([]int64{1, 5, 1}) // y=5 → A1 (x=3)
+	b.Append([]int64{2, 5, 2}) // y=5 → A2 (x=7)
+	c := NewMemRelation("C", ColLayout(s.MustTable("C")))
+	c.Append([]int64{1, 1})
+	c.Append([]int64{2, 2})
+	c.Append([]int64{3, 2})
+	db.Add(a)
+	db.Add(b)
+	db.Add(c)
+	q := &Query{
+		Name: "snow",
+		Root: "C",
+		Joins: []JoinStep{
+			{Table: "B", Via: "C"},
+			{Table: "A", Via: "B"},
+		},
+		Filters: map[string]pred.DNF{
+			"A": {Terms: []pred.Conjunct{pred.NewConjunct().With(0, pred.Range(7, 7))}},
+		},
+	}
+	aqp, err := Execute(db, s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join 1 (C⋈B): all 3 C rows. Join 2 (⋈σA): only C rows whose B row
+	// points at A2 (x=7): C2, C3 → 2.
+	if aqp.JoinOut[0] != 3 || aqp.JoinOut[1] != 2 {
+		t.Fatalf("snowflake joins = %v, want [3 2]", aqp.JoinOut)
+	}
+}
+
+func TestQueryValidateRejectsBadJoins(t *testing.T) {
+	s := toySchema(t)
+	bad := []*Query{
+		{Name: "noRoot", Root: "Z"},
+		{Name: "viaAbsent", Root: "R", Joins: []JoinStep{{Table: "S", Via: "T"}}},
+		{Name: "noFK", Root: "S", Joins: []JoinStep{{Table: "T", Via: "S"}}},
+		{Name: "dupJoin", Root: "R", Joins: []JoinStep{{Table: "S", Via: "R"}, {Table: "S", Via: "R"}}},
+		{Name: "filterOutside", Root: "S", Filters: map[string]pred.DNF{"T": pred.True()}},
+		{Name: "filterBadCol", Root: "S", Filters: map[string]pred.DNF{
+			"S": {Terms: []pred.Conjunct{pred.NewConjunct().With(9, pred.Range(0, 1))}},
+		}},
+	}
+	for _, q := range bad {
+		if err := q.Validate(s); err == nil {
+			t.Errorf("query %s should be rejected", q.Name)
+		}
+	}
+}
+
+func TestWorkloadFromQueriesDedupes(t *testing.T) {
+	s := toySchema(t)
+	db := toyDB(t, s, 50, 10, 2000, 3)
+	// Two identical queries: size CCs must be deduplicated.
+	w, aqps, err := WorkloadFromQueries(db, s, "wl", []*Query{toyQuery(), toyQuery()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aqps) != 2 {
+		t.Fatalf("aqps = %d", len(aqps))
+	}
+	if len(w.CCs) != 7 {
+		t.Fatalf("deduped CC count = %d, want 7", len(w.CCs))
+	}
+}
+
+func TestOptimizeOrdersBySelectivity(t *testing.T) {
+	q := toyQuery()
+	est := func(table string) float64 {
+		if table == "T" {
+			return 0.1
+		}
+		return 0.5
+	}
+	opt := Optimize(q, est)
+	if opt.Joins[0].Table != "T" || opt.Joins[1].Table != "S" {
+		t.Fatalf("expected T first, got %v", opt.Joins)
+	}
+}
+
+func TestOptimizeRespectsVia(t *testing.T) {
+	q := &Query{
+		Name: "snow",
+		Root: "C",
+		Joins: []JoinStep{
+			{Table: "B", Via: "C"},
+			{Table: "A", Via: "B"},
+		},
+	}
+	// Even if A looks maximally selective, it cannot precede B.
+	est := func(table string) float64 {
+		if table == "A" {
+			return 0.01
+		}
+		return 0.9
+	}
+	opt := Optimize(q, est)
+	if opt.Joins[0].Table != "B" {
+		t.Fatalf("A must not precede its Via table B: %v", opt.Joins)
+	}
+}
+
+func TestAggregateScan(t *testing.T) {
+	m := NewMemRelation("x", []string{"x_pk", "v"})
+	m.Append([]int64{1, 10})
+	m.Append([]int64{2, 20})
+	count, sum, err := AggregateScan(m, 1)
+	if err != nil || count != 2 || sum != 30 {
+		t.Fatalf("count=%d sum=%d err=%v", count, sum, err)
+	}
+}
+
+func TestMaterializeAndDiskRoundTrip(t *testing.T) {
+	m := NewMemRelation("x", []string{"x_pk", "v", "w"})
+	for i := 1; i <= 5000; i++ {
+		m.Append([]int64{int64(i), int64(i % 7), int64(i % 13)})
+	}
+	path := filepath.Join(t.TempDir(), "x.heap")
+	d, err := MaterializeToDisk(m, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 5000 {
+		t.Fatalf("disk rows = %d", d.NumRows())
+	}
+	count, sum, err := AggregateScan(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, wantSum, _ := AggregateScan(m, 1)
+	if count != wantCount || sum != wantSum {
+		t.Fatalf("disk scan (%d,%d) != mem scan (%d,%d)", count, sum, wantCount, wantSum)
+	}
+	// Row-exact comparison.
+	mi, di := m.Scan(), d.Scan()
+	for {
+		a, okA := mi.Next()
+		b, okB := di.Next()
+		if okA != okB {
+			t.Fatal("length mismatch")
+		}
+		if !okA {
+			break
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row mismatch: %v vs %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package engine
+
+import "sort"
+
+// Optimize returns a copy of the query with join steps reordered so that
+// the most selective dimensions are probed first — the standard heuristic
+// a cost-based optimizer applies to star plans. estimate(table) must
+// return the expected fraction of the table's rows surviving its filter
+// (1.0 when unfiltered); the CODD substrate supplies it from catalog
+// histograms, which is how metadata matching forces the vendor's plan to
+// equal the client's (§3.2, §7.4).
+//
+// Via dependencies are respected: a snowflake step never precedes the step
+// that introduces its Via table.
+func Optimize(q *Query, estimate func(table string) float64) *Query {
+	type cand struct {
+		step JoinStep
+		sel  float64
+		idx  int
+	}
+	pending := make([]cand, len(q.Joins))
+	for i, j := range q.Joins {
+		sel := 1.0
+		if estimate != nil {
+			sel = estimate(j.Table)
+		}
+		pending[i] = cand{step: j, sel: sel, idx: i}
+	}
+	present := map[string]bool{q.Root: true}
+	var ordered []JoinStep
+	for len(pending) > 0 {
+		// Deterministic greedy pick: among steps whose Via is present,
+		// the smallest selectivity, breaking ties by original index.
+		sort.SliceStable(pending, func(a, b int) bool {
+			if pending[a].sel != pending[b].sel {
+				return pending[a].sel < pending[b].sel
+			}
+			return pending[a].idx < pending[b].idx
+		})
+		picked := -1
+		for i, c := range pending {
+			if present[c.step.Via] {
+				picked = i
+				break
+			}
+		}
+		if picked == -1 {
+			// Unsatisfiable Via chain; fall back to declared order for
+			// the remainder (Validate will report the real problem).
+			sort.SliceStable(pending, func(a, b int) bool { return pending[a].idx < pending[b].idx })
+			for _, c := range pending {
+				ordered = append(ordered, c.step)
+			}
+			break
+		}
+		c := pending[picked]
+		pending = append(pending[:picked], pending[picked+1:]...)
+		present[c.step.Table] = true
+		ordered = append(ordered, c.step)
+	}
+	out := &Query{Name: q.Name, Root: q.Root, Joins: ordered, Filters: q.Filters}
+	return out
+}

@@ -1,0 +1,372 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/dsl-repro/hydra/internal/cc"
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/schema"
+)
+
+// JoinStep joins one referenced table into the running result: Via is an
+// already-present table (the root or an earlier step's table) holding a
+// foreign key into Table. All joins are PK-FK, per the paper's data
+// warehouse assumption (§2.2).
+type JoinStep struct {
+	Table string
+	Via   string
+}
+
+// Query is a select-project-join query in the shape Hydra's workloads use:
+// a root (fact) relation, a chain/star/snowflake of PK-FK joins, and a DNF
+// filter per table over that table's own non-key columns (predicate
+// attribute id i refers to Table.Cols[i]).
+type Query struct {
+	Name    string
+	Root    string
+	Joins   []JoinStep
+	Filters map[string]pred.DNF
+}
+
+// Tables returns the root plus all joined tables.
+func (q *Query) Tables() []string {
+	out := []string{q.Root}
+	for _, j := range q.Joins {
+		out = append(out, j.Table)
+	}
+	return out
+}
+
+// Validate checks the query against the schema: join steps must follow
+// declared FK edges and attach to already-present tables; filters must
+// reference in-query tables and valid column ids.
+func (q *Query) Validate(s *schema.Schema) error {
+	if _, ok := s.Table(q.Root); !ok {
+		return fmt.Errorf("engine: query %s: unknown root %q", q.Name, q.Root)
+	}
+	present := map[string]bool{q.Root: true}
+	for _, j := range q.Joins {
+		if !present[j.Via] {
+			return fmt.Errorf("engine: query %s: join of %s via %s before %s is present", q.Name, j.Table, j.Via, j.Via)
+		}
+		if present[j.Table] {
+			return fmt.Errorf("engine: query %s: table %s joined twice", q.Name, j.Table)
+		}
+		via := s.MustTable(j.Via)
+		found := false
+		for _, fk := range via.FKs {
+			if fk.Ref == j.Table {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("engine: query %s: %s has no FK to %s", q.Name, j.Via, j.Table)
+		}
+		present[j.Table] = true
+	}
+	for tab, p := range q.Filters {
+		if !present[tab] {
+			return fmt.Errorf("engine: query %s: filter on %s which is not in the query", q.Name, tab)
+		}
+		nCols := len(s.MustTable(tab).Cols)
+		for _, a := range p.Attrs() {
+			if a < 0 || a >= nCols {
+				return fmt.Errorf("engine: query %s: filter on %s references column id %d (table has %d non-key cols)", q.Name, tab, a, nCols)
+			}
+		}
+	}
+	return nil
+}
+
+// AQP is an annotated query plan: the query plus the output cardinality of
+// every operator, as observed during execution (§2.1, Figure 1c).
+type AQP struct {
+	Query *Query
+	// Base is each table's scan cardinality.
+	Base map[string]int64
+	// FilterOut is each table's post-filter cardinality (equal to Base
+	// when the table has no filter).
+	FilterOut map[string]int64
+	// JoinOut[i] is the output cardinality of join step i.
+	JoinOut []int64
+}
+
+// fkColIndex returns the engine-tuple index of via's FK column targeting
+// ref.
+func fkColIndex(via *schema.Table, ref string) int {
+	for i, fk := range via.FKs {
+		if fk.Ref == ref {
+			return 1 + len(via.Cols) + i
+		}
+	}
+	return -1
+}
+
+// Execute runs the query with the plan shape given by the join order (the
+// "forced plan" of the paper's methodology) and returns the AQP. The
+// execution strategy builds a filtered hash table per joined table keyed by
+// primary key and pipelines root tuples through the probes.
+func Execute(db *Database, s *schema.Schema, q *Query) (*AQP, error) {
+	if err := q.Validate(s); err != nil {
+		return nil, err
+	}
+	aqp := &AQP{
+		Query:     q,
+		Base:      map[string]int64{},
+		FilterOut: map[string]int64{},
+		JoinOut:   make([]int64, len(q.Joins)),
+	}
+	// Build per-dim hash tables.
+	type dimTable struct {
+		rows map[int64][]int64
+	}
+	dims := make([]dimTable, len(q.Joins))
+	for i, j := range q.Joins {
+		rel, err := db.Rel(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		aqp.Base[j.Table] = rel.NumRows()
+		filter, hasFilter := q.Filters[j.Table]
+		dims[i].rows = make(map[int64][]int64)
+		it := rel.Scan()
+		var passed int64
+		for {
+			row, ok := it.Next()
+			if !ok {
+				break
+			}
+			if hasFilter && !evalOwnFilter(filter, row) {
+				continue
+			}
+			passed++
+			cp := append([]int64(nil), row...)
+			dims[i].rows[cp[0]] = cp
+		}
+		if err := it.Close(); err != nil {
+			return nil, err
+		}
+		aqp.FilterOut[j.Table] = passed
+	}
+	// Probe pipeline from the root.
+	rootRel, err := db.Rel(q.Root)
+	if err != nil {
+		return nil, err
+	}
+	aqp.Base[q.Root] = rootRel.NumRows()
+	rootTab := s.MustTable(q.Root)
+	rootFilter, hasRootFilter := q.Filters[q.Root]
+
+	// Precompute probe metadata: for each step, which table's row carries
+	// the FK and at which index.
+	type probe struct {
+		viaIdx int // -1 for root, else index of the earlier join step
+		fkIdx  int
+	}
+	stepOf := map[string]int{}
+	probes := make([]probe, len(q.Joins))
+	for i, j := range q.Joins {
+		var via *schema.Table
+		var viaIdx int
+		if j.Via == q.Root {
+			via, viaIdx = rootTab, -1
+		} else {
+			via, viaIdx = s.MustTable(j.Via), stepOf[j.Via]
+		}
+		probes[i] = probe{viaIdx: viaIdx, fkIdx: fkColIndex(via, j.Table)}
+		stepOf[j.Table] = i
+	}
+
+	it := rootRel.Scan()
+	joined := make([][]int64, len(q.Joins))
+	var rootPassed int64
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		if hasRootFilter && !evalOwnFilter(rootFilter, row) {
+			continue
+		}
+		rootPassed++
+		alive := true
+		for i := range q.Joins {
+			if !alive {
+				break
+			}
+			var src []int64
+			if probes[i].viaIdx == -1 {
+				src = row
+			} else {
+				src = joined[probes[i].viaIdx]
+			}
+			fkVal := src[probes[i].fkIdx]
+			dimRow, ok := dims[i].rows[fkVal]
+			if !ok {
+				alive = false
+				break
+			}
+			joined[i] = dimRow
+			aqp.JoinOut[i]++
+		}
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	aqp.FilterOut[q.Root] = rootPassed
+	return aqp, nil
+}
+
+// evalOwnFilter evaluates a per-table DNF (over non-key column ids)
+// against an engine tuple (pk at index 0, so column id c lives at c+1).
+func evalOwnFilter(p pred.DNF, row []int64) bool {
+	for _, t := range p.Terms {
+		ok := true
+		for c, set := range t.Cols {
+			if !set.Contains(row[c+1]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ToCCs converts the AQP into cardinality constraints — the "Parser" of
+// Fig. 2 — exactly as Figure 1d derives them: one size CC per base table,
+// one selection CC per filtered scan, and one CC per join output whose
+// predicate is the conjunction of all filters involved so far.
+func (a *AQP) ToCCs(s *schema.Schema) []cc.CC {
+	q := a.Query
+	var out []cc.CC
+	for _, tab := range q.Tables() {
+		out = append(out, cc.CC{
+			Root: tab, Pred: pred.True(), Count: a.Base[tab],
+			Name: fmt.Sprintf("%s/|%s|", q.Name, tab),
+		})
+	}
+	for _, tab := range q.Tables() {
+		p, ok := q.Filters[tab]
+		if !ok {
+			continue
+		}
+		attrs, mapped := tableFilterCC(s, tab, p)
+		out = append(out, cc.CC{
+			Root: tab, Attrs: attrs, Pred: mapped, Count: a.FilterOut[tab],
+			Name: fmt.Sprintf("%s/σ(%s)", q.Name, tab),
+		})
+	}
+	// Join outputs: conjunction of filters of tables joined so far.
+	combined := pred.True()
+	var attrs []schema.AttrRef
+	attrPos := map[schema.AttrRef]int{}
+	addFilter := func(tab string) {
+		p, ok := q.Filters[tab]
+		if !ok {
+			return
+		}
+		remap := map[int]int{}
+		for _, colID := range p.Attrs() {
+			ref := schema.AttrRef{Table: tab, Col: s.MustTable(tab).Cols[colID].Name}
+			pos, seen := attrPos[ref]
+			if !seen {
+				pos = len(attrs)
+				attrPos[ref] = pos
+				attrs = append(attrs, ref)
+			}
+			remap[colID] = pos
+		}
+		combined = combined.And(p.Remap(remap))
+	}
+	addFilter(q.Root)
+	for i, j := range q.Joins {
+		addFilter(j.Table)
+		out = append(out, cc.CC{
+			Root:  q.Root,
+			Attrs: append([]schema.AttrRef(nil), attrs...),
+			Pred:  clonePred(combined),
+			Count: a.JoinOut[i],
+			Name:  fmt.Sprintf("%s/join[%d]", q.Name, i),
+		})
+	}
+	return out
+}
+
+func clonePred(p pred.DNF) pred.DNF {
+	out := pred.DNF{Terms: make([]pred.Conjunct, len(p.Terms))}
+	for i, t := range p.Terms {
+		nt := pred.NewConjunct()
+		for a, s := range t.Cols {
+			nt = nt.With(a, s)
+		}
+		out.Terms[i] = nt
+	}
+	return out
+}
+
+// tableFilterCC rewrites a per-table filter into CC form (qualified attrs
+// plus remapped predicate).
+func tableFilterCC(s *schema.Schema, tab string, p pred.DNF) ([]schema.AttrRef, pred.DNF) {
+	t := s.MustTable(tab)
+	var attrs []schema.AttrRef
+	remap := map[int]int{}
+	for _, colID := range p.Attrs() {
+		remap[colID] = len(attrs)
+		attrs = append(attrs, schema.AttrRef{Table: tab, Col: t.Cols[colID].Name})
+	}
+	return attrs, p.Remap(remap)
+}
+
+// WorkloadFromQueries executes every query against the client database and
+// collects the deduplicated CC set — the complete client-side flow of
+// Fig. 2 (AQPs → Parser → CCs).
+func WorkloadFromQueries(db *Database, s *schema.Schema, name string, queries []*Query) (*cc.Workload, []*AQP, error) {
+	w := &cc.Workload{Name: name}
+	var aqps []*AQP
+	for _, q := range queries {
+		aqp, err := Execute(db, s, q)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: query %s: %w", q.Name, err)
+		}
+		aqps = append(aqps, aqp)
+		w.CCs = append(w.CCs, aqp.ToCCs(s)...)
+	}
+	w.Dedupe()
+	return w, aqps, nil
+}
+
+// AggregateScan runs the Fig. 15 style probe query "SELECT count(*),
+// sum(col) FROM rel": it forces every tuple to be produced (from disk or
+// from the dynamic generator) and touched.
+func AggregateScan(rel Relation, colIdx int) (count int64, sum int64, err error) {
+	it := rel.Scan()
+	defer it.Close()
+	for {
+		row, ok := it.Next()
+		if !ok {
+			return count, sum, nil
+		}
+		count++
+		if colIdx < len(row) {
+			sum += row[colIdx]
+		}
+	}
+}
+
+// Materialize drains a relation into an in-memory copy.
+func Materialize(rel Relation) (*MemRelation, error) {
+	out := NewMemRelation(rel.Name(), append([]string(nil), rel.Cols()...))
+	it := rel.Scan()
+	defer it.Close()
+	for {
+		row, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		out.Append(append([]int64(nil), row...))
+	}
+}

@@ -1,0 +1,199 @@
+// Package engine is the mini relational engine Hydra's evaluation runs on:
+// the substitute for the paper's PostgreSQL v9.3 host. It provides row
+// relations (in-memory, on-disk, and dynamically generated), filter and
+// PK-FK hash-join operators, annotated plan execution (the source of AQPs
+// and hence CCs), and a small statistics-driven join-order optimizer used
+// by the CODD metadata flow.
+//
+// Tuples are []int64 with layout [pk, non-key columns..., FK columns...],
+// matching schema declaration order. Column names are qualified as
+// "table.col" inside plans so join outputs stay unambiguous.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/dsl-repro/hydra/internal/schema"
+	"github.com/dsl-repro/hydra/internal/storage"
+	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+// Relation is anything the engine can scan.
+type Relation interface {
+	// Name returns the relation name.
+	Name() string
+	// Cols returns unqualified column names; index 0 is the primary key.
+	Cols() []string
+	// NumRows returns the cardinality.
+	NumRows() int64
+	// Scan returns a fresh iterator. Returned row slices may be reused
+	// between Next calls.
+	Scan() Iterator
+}
+
+// Iterator streams rows.
+type Iterator interface {
+	Next() ([]int64, bool)
+	Close() error
+}
+
+// MemRelation is an in-memory row store, used for client databases in the
+// workload substrates and for materialization targets in tests.
+type MemRelation struct {
+	name string
+	cols []string
+	rows [][]int64
+}
+
+// NewMemRelation creates an empty in-memory relation. cols must include
+// the pk name at index 0.
+func NewMemRelation(name string, cols []string) *MemRelation {
+	return &MemRelation{name: name, cols: cols}
+}
+
+// Append adds a row (takes ownership of the slice).
+func (m *MemRelation) Append(row []int64) {
+	if len(row) != len(m.cols) {
+		panic(fmt.Sprintf("engine: row width %d != %d for %s", len(row), len(m.cols), m.name))
+	}
+	m.rows = append(m.rows, row)
+}
+
+// Row returns the i-th stored row (0-based storage order).
+func (m *MemRelation) Row(i int) []int64 { return m.rows[i] }
+
+func (m *MemRelation) Name() string   { return m.name }
+func (m *MemRelation) Cols() []string { return m.cols }
+func (m *MemRelation) NumRows() int64 { return int64(len(m.rows)) }
+
+type memIter struct {
+	rel *MemRelation
+	i   int
+}
+
+func (m *MemRelation) Scan() Iterator { return &memIter{rel: m} }
+
+func (it *memIter) Next() ([]int64, bool) {
+	if it.i >= len(it.rel.rows) {
+		return nil, false
+	}
+	row := it.rel.rows[it.i]
+	it.i++
+	return row, true
+}
+
+func (it *memIter) Close() error { return nil }
+
+// GenRelation adapts a tuple generator as a scannable relation: the
+// paper's "datagen" scan replacement (§6). Queries against it never touch
+// storage; rows are synthesized on demand from the relation summary.
+type GenRelation struct {
+	gen *tuplegen.Generator
+}
+
+// NewGenRelation wraps a generator.
+func NewGenRelation(gen *tuplegen.Generator) *GenRelation {
+	return &GenRelation{gen: gen}
+}
+
+func (g *GenRelation) Name() string   { return g.gen.Relation().Table }
+func (g *GenRelation) Cols() []string { return g.gen.ColNames() }
+func (g *GenRelation) NumRows() int64 { return g.gen.NumRows() }
+
+type genIter struct{ it *tuplegen.Iter }
+
+func (g *GenRelation) Scan() Iterator { return &genIter{it: g.gen.Scan()} }
+
+func (it *genIter) Next() ([]int64, bool) { return it.it.Next() }
+func (it *genIter) Close() error          { return nil }
+
+// DiskRelation adapts a storage heap file as a scannable relation — the
+// materialized ("static") side of the Fig. 15 disk-vs-dynamic comparison.
+type DiskRelation struct {
+	*storage.DiskRelation
+}
+
+// NewDiskRelation wraps an opened heap file.
+func NewDiskRelation(d *storage.DiskRelation) DiskRelation { return DiskRelation{d} }
+
+// Scan returns a sequential scan over the heap file.
+func (d DiskRelation) Scan() Iterator { return d.DiskRelation.Scan() }
+
+// MaterializeToDisk writes a relation (typically a GenRelation over a
+// summary) into a heap file at path and returns the opened disk relation.
+func MaterializeToDisk(rel Relation, path string) (DiskRelation, error) {
+	w, err := storage.Create(path, rel.Name(), rel.Cols())
+	if err != nil {
+		return DiskRelation{}, err
+	}
+	it := rel.Scan()
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(row); err != nil {
+			w.Close()
+			it.Close()
+			return DiskRelation{}, err
+		}
+	}
+	if err := it.Close(); err != nil {
+		w.Close()
+		return DiskRelation{}, err
+	}
+	if err := w.Close(); err != nil {
+		return DiskRelation{}, err
+	}
+	d, err := storage.Open(path)
+	if err != nil {
+		return DiskRelation{}, err
+	}
+	return DiskRelation{d}, nil
+}
+
+// Database is a set of relations addressed by table name.
+type Database struct {
+	Rels map[string]Relation
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return &Database{Rels: map[string]Relation{}} }
+
+// Add registers a relation.
+func (d *Database) Add(r Relation) { d.Rels[r.Name()] = r }
+
+// Rel returns the named relation or an error.
+func (d *Database) Rel(name string) (Relation, error) {
+	r, ok := d.Rels[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// FromSummary builds a fully dynamic database over a Hydra summary: every
+// relation is a GenRelation, so any query executes without materialized
+// data — the paper's dynamic regeneration mode.
+func FromSummary(s *summary.Summary) *Database {
+	db := NewDatabase()
+	for _, rs := range s.Relations {
+		db.Add(NewGenRelation(tuplegen.New(rs)))
+	}
+	return db
+}
+
+// ColLayout returns the column names of a schema table in engine tuple
+// order: pk, non-key columns, FK columns.
+func ColLayout(t *schema.Table) []string {
+	cols := make([]string, 0, 1+len(t.Cols)+len(t.FKs))
+	cols = append(cols, t.Name+"_pk")
+	for _, c := range t.Cols {
+		cols = append(cols, c.Name)
+	}
+	for _, fk := range t.FKs {
+		cols = append(cols, fk.FKCol)
+	}
+	return cols
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyEnv builds the smallest environment that exercises every experiment
+// path; the full-scale runs happen through cmd/hydra-bench and the root
+// benchmarks.
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(Config{
+		SF:         0.02,
+		Seed:       42,
+		QueriesWLc: 25,
+		QueriesWLs: 15,
+		QueriesJOB: 20,
+		Dir:        t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow; skipped with -short")
+	}
+	env := tinyEnv(t)
+	for _, r := range Runners() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(env)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tab.ID != r.ID {
+				t.Fatalf("table id %q != runner id %q", tab.ID, r.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", r.ID)
+			}
+			var buf bytes.Buffer
+			tab.Fprint(&buf)
+			if !strings.Contains(buf.String(), tab.Title) {
+				t.Fatal("rendered table missing title")
+			}
+			t.Logf("\n%s", buf.String())
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	env := &Env{}
+	if _, err := Run(env, "nope"); err == nil {
+		t.Fatal("unknown experiment id must error")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.SF <= 0 || c.Seed == 0 || c.QueriesWLc != 131 || c.QueriesJOB != 260 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}

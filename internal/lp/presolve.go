@@ -1,0 +1,99 @@
+package lp
+
+import (
+	"sort"
+)
+
+// DedupColumns merges variables whose constraint columns (and objective
+// coefficients) are identical into a single representative variable.
+//
+// Hydra's LPs are full of such twins: region partitioning distinguishes
+// regions by marker atoms that the current (sub-)problem's rows do not
+// reference, so thousands of regions share the exact same column. Beyond
+// shrinking the tableau, deduplication removes the massive degeneracy
+// those identical columns cause in simplex pricing.
+//
+// The reduction is exact for feasibility problems: any solution of the
+// reduced problem expands to the original by assigning each class's mass
+// to its representative (first) variable and zero to the twins, and any
+// original solution folds onto the reduced problem by summation. expand
+// maps a reduced solution vector back to original coordinates.
+func DedupColumns(p *Problem) (reduced *Problem, expand func([]int64) []int64) {
+	type entry struct {
+		row  int
+		coef int64
+	}
+	cols := make([][]entry, p.NumVars)
+	for ri, r := range p.Rows {
+		for _, e := range r.Entries {
+			cols[e.Var] = append(cols[e.Var], entry{row: ri, coef: e.Coef})
+		}
+	}
+	for _, e := range p.Objective {
+		cols[e.Var] = append(cols[e.Var], entry{row: -1, coef: e.Coef})
+	}
+	sig := func(c []entry) string {
+		sort.Slice(c, func(i, j int) bool { return c[i].row < c[j].row })
+		buf := make([]byte, 0, len(c)*12)
+		for _, e := range c {
+			buf = appendVarint(buf, int64(e.row))
+			buf = appendVarint(buf, e.coef)
+		}
+		return string(buf)
+	}
+	classOf := make([]int, p.NumVars) // original var → reduced var
+	rep := make([]int, 0, p.NumVars)  // reduced var → representative original
+	seen := map[string]int{}
+	for v := 0; v < p.NumVars; v++ {
+		s := sig(cols[v])
+		if c, ok := seen[s]; ok {
+			classOf[v] = c
+			continue
+		}
+		c := len(rep)
+		seen[s] = c
+		classOf[v] = c
+		rep = append(rep, v)
+	}
+	if len(rep) == p.NumVars {
+		// Nothing to merge.
+		return p, func(x []int64) []int64 { return x }
+	}
+	// The reduced column of a class is its REPRESENTATIVE's column (all
+	// class members share it by construction; expansion puts the whole
+	// class mass on the representative, so summing would double-count).
+	isRep := make([]bool, p.NumVars)
+	for _, r := range rep {
+		isRep[r] = true
+	}
+	reduced = &Problem{NumVars: len(rep)}
+	for _, r := range p.Rows {
+		nr := Row{Rel: r.Rel, RHS: r.RHS, Name: r.Name}
+		for _, e := range r.Entries {
+			if isRep[e.Var] {
+				nr.Entries = append(nr.Entries, Entry{Var: classOf[e.Var], Coef: e.Coef})
+			}
+		}
+		reduced.Rows = append(reduced.Rows, nr)
+	}
+	for _, e := range p.Objective {
+		if isRep[e.Var] {
+			reduced.Objective = append(reduced.Objective, Entry{Var: classOf[e.Var], Coef: e.Coef})
+		}
+	}
+	expand = func(x []int64) []int64 {
+		out := make([]int64, p.NumVars)
+		for c, r := range rep {
+			out[r] = x[c]
+		}
+		return out
+	}
+	return reduced, expand
+}
+
+func appendVarint(buf []byte, v int64) []byte {
+	u := uint64(v)
+	return append(buf,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}

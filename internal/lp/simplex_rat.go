@@ -1,0 +1,328 @@
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// ratTableau is a dense simplex tableau over exact rationals.
+//
+// Column layout: [0,n) structural variables, [n, n+slacks) slack/surplus
+// variables, [n+slacks, cols) artificial variables; one extra RHS column.
+type ratTableau struct {
+	rows     [][]*big.Rat // m x (cols+1); last column is RHS
+	obj      []*big.Rat   // reduced-cost row, length cols+1 (last = -objective value)
+	basis    []int        // basic variable per row
+	n        int          // structural variables
+	cols     int          // total variables (structural + slack + artificial)
+	artStart int          // first artificial column
+	pivots   int
+}
+
+var ratOne = big.NewRat(1, 1)
+
+// newRatTableau builds the Phase-I tableau for p. Rows are normalized to
+// non-negative RHS; LE rows receive slacks (basic when possible), GE rows a
+// surplus plus artificial, EQ rows an artificial.
+func newRatTableau(p *Problem) *ratTableau {
+	m := len(p.Rows)
+	// Count slack and artificial columns.
+	slacks := 0
+	for _, r := range p.Rows {
+		if r.Rel != EQ {
+			slacks++
+		}
+	}
+	t := &ratTableau{
+		n:        p.NumVars,
+		artStart: p.NumVars + slacks,
+		cols:     p.NumVars + slacks + m, // worst case: artificial per row
+		basis:    make([]int, m),
+	}
+	t.rows = make([][]*big.Rat, m)
+	slackIdx := p.NumVars
+	artIdx := t.artStart
+	numArt := 0
+	for i, r := range p.Rows {
+		row := make([]*big.Rat, t.cols+1)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		neg := r.RHS < 0
+		sign := int64(1)
+		rel := r.Rel
+		if neg {
+			sign = -1
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		for _, e := range r.Entries {
+			row[e.Var].Add(row[e.Var], big.NewRat(sign*e.Coef, 1))
+		}
+		row[t.cols].SetInt64(sign * r.RHS)
+		switch rel {
+		case LE:
+			row[slackIdx].SetInt64(1)
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx].SetInt64(-1)
+			slackIdx++
+			row[artIdx].SetInt64(1)
+			t.basis[i] = artIdx
+			artIdx++
+			numArt++
+		case EQ:
+			row[artIdx].SetInt64(1)
+			t.basis[i] = artIdx
+			artIdx++
+			numArt++
+		}
+		t.rows[i] = row
+	}
+	// Trim unused artificial columns.
+	used := t.artStart + numArt
+	if used < t.cols {
+		for i := range t.rows {
+			t.rows[i] = append(t.rows[i][:used], t.rows[i][t.cols])
+		}
+		t.cols = used
+	}
+	// Phase-I reduced costs: minimize w = Σ artificials. With artificials
+	// basic, obj[j] = c_j - Σ_{i basic-artificial} T[i][j].
+	t.obj = make([]*big.Rat, t.cols+1)
+	for j := range t.obj {
+		t.obj[j] = new(big.Rat)
+	}
+	for j := t.artStart; j < t.cols; j++ {
+		t.obj[j].SetInt64(1)
+	}
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			for j := 0; j <= t.cols; j++ {
+				t.obj[j].Sub(t.obj[j], t.rows[i][j])
+			}
+		}
+	}
+	return t
+}
+
+// pivot performs the simplex pivot on (row r, column jc).
+func (t *ratTableau) pivot(r, jc int) {
+	pr := t.rows[r]
+	inv := new(big.Rat).Inv(pr[jc])
+	if inv.Cmp(ratOne) != 0 {
+		for j := 0; j <= t.cols; j++ {
+			if pr[j].Sign() != 0 {
+				pr[j].Mul(pr[j], inv)
+			}
+		}
+	}
+	pr[jc].SetInt64(1)
+	tmp := new(big.Rat)
+	for i, row := range t.rows {
+		if i == r || row[jc].Sign() == 0 {
+			continue
+		}
+		f := new(big.Rat).Set(row[jc])
+		for j := 0; j <= t.cols; j++ {
+			if pr[j].Sign() != 0 {
+				row[j].Sub(row[j], tmp.Mul(f, pr[j]))
+			}
+		}
+		row[jc].SetInt64(0)
+	}
+	if t.obj[jc].Sign() != 0 {
+		f := new(big.Rat).Set(t.obj[jc])
+		for j := 0; j <= t.cols; j++ {
+			if pr[j].Sign() != 0 {
+				t.obj[j].Sub(t.obj[j], tmp.Mul(f, pr[j]))
+			}
+		}
+		t.obj[jc].SetInt64(0)
+	}
+	t.basis[r] = jc
+	t.pivots++
+}
+
+// ratioTestRow returns the leaving row for entering column jc, or -1 if the
+// column is unbounded. Ties break on the smallest basic variable index
+// (Bland-compatible).
+func (t *ratTableau) ratioTestRow(jc int) int {
+	best := -1
+	var bestRatio big.Rat
+	ratio := new(big.Rat)
+	for i, row := range t.rows {
+		if row[jc].Sign() <= 0 {
+			continue
+		}
+		ratio.Quo(row[t.cols], row[jc])
+		if best == -1 || ratio.Cmp(&bestRatio) < 0 ||
+			(ratio.Cmp(&bestRatio) == 0 && t.basis[i] < t.basis[best]) {
+			best = i
+			bestRatio.Set(ratio)
+		}
+	}
+	return best
+}
+
+// optimize pivots until the reduced-cost row is non-negative (minimization
+// optimum). allowArtificial controls whether artificial columns may enter
+// (false in Phase II). It uses Dantzig pricing and switches to Bland's rule
+// after blandAfter pivots to guarantee termination.
+func (t *ratTableau) optimize(allowArtificial bool) error {
+	m := len(t.rows)
+	blandAfter := 60*(m+1) + t.cols
+	maxPivots := 400*(m+1) + 8*t.cols + 20000
+	limit := t.cols
+	if !allowArtificial {
+		limit = t.artStart
+	}
+	for iter := 0; ; iter++ {
+		if t.pivots > maxPivots {
+			return fmt.Errorf("lp: pivot limit exceeded (%d pivots)", t.pivots)
+		}
+		jc := -1
+		if iter < blandAfter {
+			// Dantzig: most negative reduced cost.
+			var best *big.Rat
+			for j := 0; j < limit; j++ {
+				if t.obj[j].Sign() < 0 && (best == nil || t.obj[j].Cmp(best) < 0) {
+					best = t.obj[j]
+					jc = j
+				}
+			}
+		} else {
+			// Bland: smallest index with negative reduced cost.
+			for j := 0; j < limit; j++ {
+				if t.obj[j].Sign() < 0 {
+					jc = j
+					break
+				}
+			}
+		}
+		if jc == -1 {
+			return nil // optimal
+		}
+		r := t.ratioTestRow(jc)
+		if r == -1 {
+			return fmt.Errorf("lp: unbounded (column %d)", jc)
+		}
+		t.pivot(r, jc)
+	}
+}
+
+// driveOutArtificials removes artificial variables left basic at level zero
+// after Phase I, pivoting them out where possible and discarding redundant
+// rows otherwise.
+func (t *ratTableau) driveOutArtificials() {
+	keep := t.rows[:0]
+	keepBasis := t.basis[:0]
+	for i := 0; i < len(t.rows); i++ {
+		if t.basis[i] < t.artStart {
+			keep = append(keep, t.rows[i])
+			keepBasis = append(keepBasis, t.basis[i])
+			continue
+		}
+		// Basic artificial at zero: find a structural/slack pivot column.
+		row := t.rows[i]
+		jc := -1
+		for j := 0; j < t.artStart; j++ {
+			if row[j].Sign() != 0 {
+				jc = j
+				break
+			}
+		}
+		if jc == -1 {
+			// Row is all zeros over real variables: redundant, drop it.
+			continue
+		}
+		// Manual pivot limited to this stage (the row may have a negative
+		// pivot element; at zero level that is still a valid basis change).
+		t.pivotRowAt(i, jc)
+		keep = append(keep, t.rows[i])
+		keepBasis = append(keepBasis, t.basis[i])
+	}
+	t.rows = keep
+	t.basis = keepBasis
+}
+
+// pivotRowAt pivots on (i, jc) regardless of sign, used only when the row's
+// RHS is zero (degenerate artificial eviction).
+func (t *ratTableau) pivotRowAt(i, jc int) {
+	t.pivot(i, jc)
+}
+
+// setObjective installs Phase-II reduced costs for minimizing c·x given the
+// current basis.
+func (t *ratTableau) setObjective(obj []Entry) {
+	c := make([]*big.Rat, t.cols+1)
+	for j := range c {
+		c[j] = new(big.Rat)
+	}
+	for _, e := range obj {
+		c[e.Var].Add(c[e.Var], big.NewRat(e.Coef, 1))
+	}
+	// Reduced costs: c_j - Σ_i c_{basis[i]} T[i][j].
+	tmp := new(big.Rat)
+	for i, b := range t.basis {
+		if c[b].Sign() == 0 {
+			continue
+		}
+		cb := new(big.Rat).Set(c[b])
+		for j := 0; j <= t.cols; j++ {
+			if t.rows[i][j].Sign() != 0 {
+				c[j].Sub(c[j], tmp.Mul(cb, t.rows[i][j]))
+			}
+		}
+		// The basic column itself must read exactly zero.
+		c[b].SetInt64(0)
+	}
+	t.obj = c
+}
+
+// extract returns the structural solution vector.
+func (t *ratTableau) extract() []*big.Rat {
+	x := make([]*big.Rat, t.n)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i, b := range t.basis {
+		if b < t.n {
+			x[b].Set(t.rows[i][t.cols])
+		}
+	}
+	return x
+}
+
+// SolveRational finds an exact rational solution of p, minimizing the
+// objective if one is set. It returns *Infeasible when no non-negative
+// solution exists.
+func SolveRational(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := newRatTableau(p)
+	if err := t.optimize(true); err != nil {
+		return nil, err
+	}
+	// Phase-I objective value is -obj[cols].
+	w := new(big.Rat).Neg(t.obj[t.cols])
+	if w.Sign() > 0 {
+		return nil, &Infeasible{}
+	}
+	t.driveOutArtificials()
+	objVal := new(big.Rat)
+	if len(p.Objective) > 0 {
+		t.setObjective(p.Objective)
+		if err := t.optimize(false); err != nil {
+			return nil, err
+		}
+		objVal.Neg(t.obj[t.cols])
+	}
+	return &Solution{X: t.extract(), Pivots: t.pivots, Objective: objVal}, nil
+}

@@ -1,0 +1,51 @@
+package pred
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Set serializes as a list of [lo, hi] pairs; the unbounded sentinels
+// DomainMin/DomainMax round-trip as-is.
+func (s Set) MarshalJSON() ([]byte, error) {
+	out := make([][2]int64, len(s.ivs))
+	for i, iv := range s.ivs {
+		out[i] = [2]int64{iv.Lo, iv.Hi}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the [lo, hi] pair list, normalizing as NewSet does.
+func (s *Set) UnmarshalJSON(b []byte) error {
+	var pairs [][2]int64
+	if err := json.Unmarshal(b, &pairs); err != nil {
+		return fmt.Errorf("pred: set: %w", err)
+	}
+	ivs := make([]Interval, len(pairs))
+	for i, p := range pairs {
+		ivs[i] = Interval{Lo: p[0], Hi: p[1]}
+	}
+	*s = NewSet(ivs...)
+	return nil
+}
+
+// conjunctJSON is the wire form of a conjunct: attribute id → interval set.
+type conjunctJSON map[int]Set
+
+// MarshalJSON emits the per-attribute constraint map.
+func (c Conjunct) MarshalJSON() ([]byte, error) {
+	return json.Marshal(conjunctJSON(c.Cols))
+}
+
+// UnmarshalJSON parses the per-attribute constraint map.
+func (c *Conjunct) UnmarshalJSON(b []byte) error {
+	var m conjunctJSON
+	if err := json.Unmarshal(b, &m); err != nil {
+		return fmt.Errorf("pred: conjunct: %w", err)
+	}
+	if m == nil {
+		m = conjunctJSON{}
+	}
+	c.Cols = m
+	return nil
+}

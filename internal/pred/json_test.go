@@ -1,0 +1,92 @@
+package pred
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	s := NewSet(Interval{1, 5}, Interval{10, 10}, Interval{DomainMin, -100})
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Set
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip: %v != %v", got, s)
+	}
+}
+
+func TestConjunctJSONRoundTrip(t *testing.T) {
+	c := NewConjunct().With(0, Range(1, 9)).With(3, AtLeast(100))
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Conjunct
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range [][]int64{{1, 0, 0, 100}, {0, 0, 0, 100}, {5, 0, 0, 99}} {
+		if c.Eval(pt) != got.Eval(pt) {
+			t.Fatalf("semantics changed at %v", pt)
+		}
+	}
+}
+
+func TestDNFJSONRoundTrip(t *testing.T) {
+	p := DNF{Terms: []Conjunct{
+		NewConjunct().With(0, AtMost(20)).With(1, AtLeast(31)),
+		NewConjunct().With(0, AtLeast(51)),
+	}}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DNF
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	for x := int64(0); x <= 100; x += 7 {
+		for y := int64(0); y <= 100; y += 11 {
+			if p.Eval([]int64{x, y}) != got.Eval([]int64{x, y}) {
+				t.Fatalf("semantics changed at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randSet(rng)
+		b, err := json.Marshal(s)
+		if err != nil {
+			return false
+		}
+		var got Set
+		if err := json.Unmarshal(b, &got); err != nil {
+			return false
+		}
+		return got.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var s Set
+	if err := json.Unmarshal([]byte(`"nope"`), &s); err == nil {
+		t.Fatal("garbage set must be rejected")
+	}
+	var c Conjunct
+	if err := json.Unmarshal([]byte(`[1,2]`), &c); err == nil {
+		t.Fatal("garbage conjunct must be rejected")
+	}
+}

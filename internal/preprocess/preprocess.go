@@ -1,0 +1,146 @@
+// Package preprocess implements the DataSynth-sourced preprocessor of
+// Hydra's architecture (§3.2, orange box in Fig. 2): for every relation it
+// creates a view comprising the relation's own non-key attributes augmented
+// with the non-key attributes of every relation it depends on through
+// referential constraints, directly or transitively; CCs over join
+// expressions are rewritten as selections over these views.
+package preprocess
+
+import (
+	"fmt"
+
+	"github.com/dsl-repro/hydra/internal/cc"
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/schema"
+)
+
+// View is the flattened attribute space of one relation.
+type View struct {
+	// Table is the relation this view belongs to.
+	Table *schema.Table
+	// Attrs lists the view's attributes: the relation's own non-key
+	// columns first, then the inherited attributes of each FK target view
+	// in FK declaration order.
+	Attrs []schema.AttrRef
+	// Domains gives each attribute's integer domain.
+	Domains []pred.Set
+	// Index maps a qualified attribute to its position in Attrs.
+	Index map[schema.AttrRef]int
+	// Own is the number of leading attributes owned by the relation
+	// itself (len of Table.Cols).
+	Own int
+	// RefAttrs maps each directly referenced table to the positions its
+	// *view's* attributes occupy inside this view, in the referenced
+	// view's attribute order. Projecting a row of this view through
+	// RefAttrs[t] yields a row of t's view.
+	RefAttrs map[string][]int
+	// Total is the target row count |Table| (from the relation-size CC,
+	// falling back to the schema's RowCount).
+	Total int64
+	// CCs are the non-size constraints rewritten onto view attribute ids.
+	CCs []ViewCC
+}
+
+// ViewCC is a CC whose predicate attribute ids index the owning view's
+// Attrs slice.
+type ViewCC struct {
+	Pred  pred.DNF
+	Count int64
+	Name  string
+}
+
+// BuildViews constructs one view per relation appearing in the schema, and
+// rewrites every workload CC onto its root's view. It fails when a table
+// declares two FKs to the same target (the view attribute space would be
+// ambiguous; the paper's model has a single join role per referenced
+// relation) or when a CC references an attribute outside its root's view.
+func BuildViews(s *schema.Schema, w *cc.Workload) (map[string]*View, error) {
+	order, err := s.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	views := make(map[string]*View, len(order))
+	for _, t := range order {
+		v := &View{
+			Table:    t,
+			Index:    map[schema.AttrRef]int{},
+			Own:      len(t.Cols),
+			RefAttrs: map[string][]int{},
+			Total:    t.RowCount,
+		}
+		for _, col := range t.Cols {
+			ref := schema.AttrRef{Table: t.Name, Col: col.Name}
+			v.Index[ref] = len(v.Attrs)
+			v.Attrs = append(v.Attrs, ref)
+			v.Domains = append(v.Domains, pred.Range(col.Min, col.Max))
+		}
+		seenRef := map[string]bool{}
+		for _, fk := range t.FKs {
+			if seenRef[fk.Ref] {
+				return nil, fmt.Errorf("preprocess: table %q has multiple FKs to %q; one join role per referenced relation is supported", t.Name, fk.Ref)
+			}
+			seenRef[fk.Ref] = true
+			rv := views[fk.Ref] // exists: topo order visits targets first
+			positions := make([]int, len(rv.Attrs))
+			for i, ra := range rv.Attrs {
+				if p, ok := v.Index[ra]; ok {
+					// Shared transitive ancestor (DAG diamond): the
+					// attribute is already present; reuse its slot.
+					positions[i] = p
+					continue
+				}
+				v.Index[ra] = len(v.Attrs)
+				positions[i] = len(v.Attrs)
+				v.Attrs = append(v.Attrs, ra)
+				v.Domains = append(v.Domains, rv.Domains[i])
+			}
+			v.RefAttrs[fk.Ref] = positions
+		}
+		views[t.Name] = v
+	}
+
+	for i := range w.CCs {
+		c := &w.CCs[i]
+		v, ok := views[c.Root]
+		if !ok {
+			return nil, fmt.Errorf("preprocess: cc %s: unknown root %q", c.Name, c.Root)
+		}
+		if c.IsSize() {
+			// The CC is the client-measured cardinality; it overrides
+			// whatever the schema snapshot carried.
+			v.Total = c.Count
+			continue
+		}
+		remap := make(map[int]int, len(c.Attrs))
+		for id, a := range c.Attrs {
+			p, ok := v.Index[a]
+			if !ok {
+				return nil, fmt.Errorf("preprocess: cc %s: attribute %s not in view of %s", c.Name, a, c.Root)
+			}
+			remap[id] = p
+		}
+		v.CCs = append(v.CCs, ViewCC{
+			Pred:  c.Pred.Remap(remap),
+			Count: c.Count,
+			Name:  c.Name,
+		})
+	}
+
+	for _, v := range views {
+		if v.Total < 0 {
+			return nil, fmt.Errorf("preprocess: view %s has negative total %d", v.Table.Name, v.Total)
+		}
+	}
+	return views, nil
+}
+
+// ProjectRow projects a row of view v (values aligned with v.Attrs) onto
+// the view of directly referenced table ref.
+func (v *View) ProjectRow(row []int64, ref string) []int64 {
+	pos := v.RefAttrs[ref]
+	out := make([]int64, len(pos))
+	for i, p := range pos {
+		out[i] = row[p]
+	}
+	return out
+}

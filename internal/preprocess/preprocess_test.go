@@ -1,0 +1,155 @@
+package preprocess
+
+import (
+	"testing"
+
+	"github.com/dsl-repro/hydra/internal/cc"
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/schema"
+)
+
+func toySchema() *schema.Schema {
+	return schema.MustNew(
+		&schema.Table{Name: "S", Cols: []schema.Column{
+			{Name: "A", Min: 0, Max: 100}, {Name: "B", Min: 0, Max: 50},
+		}, RowCount: 700},
+		&schema.Table{Name: "T", Cols: []schema.Column{{Name: "C", Min: 0, Max: 10}}, RowCount: 1500},
+		&schema.Table{Name: "R", FKs: []schema.ForeignKey{
+			{FKCol: "S_fk", Ref: "S"}, {FKCol: "T_fk", Ref: "T"},
+		}, RowCount: 80000},
+	)
+}
+
+// TestViewAttributeClosure checks the paper's §3.2 example: R_view(A,B,C),
+// S_view(A,B), T_view(C).
+func TestViewAttributeClosure(t *testing.T) {
+	views, err := BuildViews(toySchema(), &cc.Workload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"R": {"S.A", "S.B", "T.C"},
+		"S": {"S.A", "S.B"},
+		"T": {"T.C"},
+	}
+	for name, attrs := range want {
+		v := views[name]
+		if len(v.Attrs) != len(attrs) {
+			t.Fatalf("view %s attrs = %v, want %v", name, v.Attrs, attrs)
+		}
+		for i, a := range attrs {
+			if v.Attrs[i].String() != a {
+				t.Fatalf("view %s attr %d = %s, want %s", name, i, v.Attrs[i], a)
+			}
+		}
+	}
+	if views["R"].Own != 0 || views["S"].Own != 2 {
+		t.Fatal("Own counts wrong")
+	}
+}
+
+func TestCCRewriteOntoView(t *testing.T) {
+	w := &cc.Workload{CCs: []cc.CC{
+		{Root: "R",
+			Attrs: []schema.AttrRef{{Table: "S", Col: "A"}, {Table: "T", Col: "C"}},
+			Pred: pred.DNF{Terms: []pred.Conjunct{
+				pred.NewConjunct().With(0, pred.Range(20, 59)).With(1, pred.Range(2, 2)),
+			}},
+			Count: 30000, Name: "join"},
+	}}
+	views, err := BuildViews(toySchema(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := views["R"]
+	if len(rv.CCs) != 1 {
+		t.Fatalf("R view CCs = %d", len(rv.CCs))
+	}
+	// S.A is view attr 0, T.C is view attr 2.
+	attrs := rv.CCs[0].Pred.Attrs()
+	if len(attrs) != 2 || attrs[0] != 0 || attrs[1] != 2 {
+		t.Fatalf("rewritten attrs = %v, want [0 2]", attrs)
+	}
+}
+
+func TestSizeCCOverridesTotal(t *testing.T) {
+	w := &cc.Workload{CCs: []cc.CC{
+		{Root: "S", Pred: pred.True(), Count: 9999, Name: "sizeS"},
+	}}
+	views, err := BuildViews(toySchema(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if views["S"].Total != 9999 {
+		t.Fatalf("Total = %d, want 9999 (CC overrides schema)", views["S"].Total)
+	}
+	if views["T"].Total != 1500 {
+		t.Fatalf("T total = %d, want schema fallback 1500", views["T"].Total)
+	}
+}
+
+func TestDAGDiamondSharesAttributeSlot(t *testing.T) {
+	// D → B → A and D → C → A: A's attributes must appear once in D_view.
+	s := schema.MustNew(
+		&schema.Table{Name: "A", Cols: []schema.Column{{Name: "x", Min: 0, Max: 9}}, RowCount: 5},
+		&schema.Table{Name: "B", FKs: []schema.ForeignKey{{FKCol: "a_fk", Ref: "A"}}, RowCount: 10},
+		&schema.Table{Name: "C", FKs: []schema.ForeignKey{{FKCol: "a_fk", Ref: "A"}}, RowCount: 10},
+		&schema.Table{Name: "D", FKs: []schema.ForeignKey{
+			{FKCol: "b_fk", Ref: "B"}, {FKCol: "c_fk", Ref: "C"},
+		}, RowCount: 20},
+	)
+	views, err := BuildViews(s, &cc.Workload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := views["D"]
+	if len(dv.Attrs) != 1 {
+		t.Fatalf("D_view attrs = %v; A.x must be shared, not duplicated", dv.Attrs)
+	}
+	// Projections through B and C must both hit the shared slot.
+	row := []int64{7}
+	if dv.ProjectRow(row, "B")[0] != 7 || dv.ProjectRow(row, "C")[0] != 7 {
+		t.Fatal("projection through diamond arms broken")
+	}
+}
+
+func TestDoubleFKRejected(t *testing.T) {
+	s := schema.MustNew(
+		&schema.Table{Name: "D", RowCount: 5},
+		&schema.Table{Name: "F", FKs: []schema.ForeignKey{
+			{FKCol: "d1", Ref: "D"}, {FKCol: "d2", Ref: "D"},
+		}, RowCount: 10},
+	)
+	if _, err := BuildViews(s, &cc.Workload{}); err == nil {
+		t.Fatal("two FKs to the same table must be rejected")
+	}
+}
+
+func TestForeignAttrRejected(t *testing.T) {
+	w := &cc.Workload{CCs: []cc.CC{
+		{Root: "S",
+			Attrs: []schema.AttrRef{{Table: "T", Col: "C"}},
+			Pred:  pred.DNF{Terms: []pred.Conjunct{pred.NewConjunct().With(0, pred.Range(0, 1))}},
+			Count: 1, Name: "bad"},
+	}}
+	if _, err := BuildViews(toySchema(), w); err == nil {
+		t.Fatal("attr outside the root's closure must be rejected")
+	}
+}
+
+func TestProjectRow(t *testing.T) {
+	views, err := BuildViews(toySchema(), &cc.Workload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := views["R"]
+	row := []int64{42, 17, 3} // S.A, S.B, T.C
+	sProj := rv.ProjectRow(row, "S")
+	if len(sProj) != 2 || sProj[0] != 42 || sProj[1] != 17 {
+		t.Fatalf("S projection = %v", sProj)
+	}
+	tProj := rv.ProjectRow(row, "T")
+	if len(tProj) != 1 || tProj[0] != 3 {
+		t.Fatalf("T projection = %v", tProj)
+	}
+}

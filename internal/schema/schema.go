@@ -1,0 +1,217 @@
+// Package schema models the relational schemas Hydra regenerates: tables
+// with an implicit integer primary key, non-key integer attributes, and
+// PK-FK referential constraints forming a DAG-structured dependency graph
+// (the paper's §5.3 explicitly extends coverage from trees to DAGs).
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column is a non-key attribute of a table. Domains are closed integer
+// intervals; the anonymizer maps every client datatype onto such a domain.
+type Column struct {
+	Name string
+	Min  int64 // smallest value in the domain
+	Max  int64 // largest value in the domain
+}
+
+// ForeignKey declares that the owning table's column FKCol references the
+// primary key of table Ref. Following the paper's data-warehouse assumption,
+// all joins in the workload are along such PK-FK edges.
+type ForeignKey struct {
+	FKCol string // name of the referencing column in the owning table
+	Ref   string // referenced table (its implicit PK)
+}
+
+// Table describes one relation. The primary key is implicit: row numbers
+// 1..RowCount, matching §6 of the paper ("we consider the pk values to be
+// the row numbers of the relation").
+type Table struct {
+	Name     string
+	Cols     []Column     // non-key attributes
+	FKs      []ForeignKey // PK-FK references to other tables
+	RowCount int64        // |T| at the client site
+}
+
+// Col returns the named column and whether it exists.
+func (t *Table) Col(name string) (Column, bool) {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// ColIndex returns the position of the named non-key column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Schema is a set of tables with referential constraints between them.
+type Schema struct {
+	Tables []*Table
+	byName map[string]*Table
+}
+
+// New builds a Schema and validates it: unique table names, unique column
+// names per table, FK targets that exist, and an acyclic dependency graph.
+func New(tables ...*Table) (*Schema, error) {
+	s := &Schema{Tables: tables, byName: make(map[string]*Table, len(tables))}
+	for _, t := range tables {
+		if t.Name == "" {
+			return nil, fmt.Errorf("schema: table with empty name")
+		}
+		if _, dup := s.byName[t.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate table %q", t.Name)
+		}
+		s.byName[t.Name] = t
+		seen := map[string]bool{}
+		for _, c := range t.Cols {
+			if seen[c.Name] {
+				return nil, fmt.Errorf("schema: table %q: duplicate column %q", t.Name, c.Name)
+			}
+			seen[c.Name] = true
+			if c.Min > c.Max {
+				return nil, fmt.Errorf("schema: table %q column %q: empty domain [%d,%d]", t.Name, c.Name, c.Min, c.Max)
+			}
+		}
+		for _, fk := range t.FKs {
+			if seen[fk.FKCol] {
+				return nil, fmt.Errorf("schema: table %q: fk column %q collides with a non-key column", t.Name, fk.FKCol)
+			}
+			seen[fk.FKCol] = true
+		}
+	}
+	for _, t := range tables {
+		for _, fk := range t.FKs {
+			if _, ok := s.byName[fk.Ref]; !ok {
+				return nil, fmt.Errorf("schema: table %q fk %q references unknown table %q", t.Name, fk.FKCol, fk.Ref)
+			}
+			if fk.Ref == t.Name {
+				return nil, fmt.Errorf("schema: table %q: self-referential fk %q not supported", t.Name, fk.FKCol)
+			}
+		}
+	}
+	if _, err := s.TopoOrder(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error, for statically known-good schemas in
+// tests and workload generators.
+func MustNew(tables ...*Table) *Schema {
+	s, err := New(tables...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Table returns the named table and whether it exists.
+func (s *Schema) Table(name string) (*Table, bool) {
+	t, ok := s.byName[name]
+	return t, ok
+}
+
+// MustTable returns the named table or panics.
+func (s *Schema) MustTable(name string) *Table {
+	t, ok := s.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("schema: unknown table %q", name))
+	}
+	return t
+}
+
+// Referenced returns the names of tables t references directly (its FK
+// targets), deduplicated in FK order.
+func (s *Schema) Referenced(t *Table) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, fk := range t.FKs {
+		if !seen[fk.Ref] {
+			seen[fk.Ref] = true
+			out = append(out, fk.Ref)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the tables ordered so that every table appears after all
+// tables it references ("referential dependency graph" topological sort,
+// §5.3). It fails if the dependency graph has a cycle.
+func (s *Schema) TopoOrder() ([]*Table, error) {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(s.Tables))
+	var order []*Table
+	var visit func(t *Table) error
+	visit = func(t *Table) error {
+		switch state[t.Name] {
+		case inStack:
+			return fmt.Errorf("schema: referential cycle through table %q", t.Name)
+		case done:
+			return nil
+		}
+		state[t.Name] = inStack
+		// Deterministic order: visit FK targets sorted by name.
+		refs := s.Referenced(t)
+		sort.Strings(refs)
+		for _, ref := range refs {
+			if err := visit(s.byName[ref]); err != nil {
+				return err
+			}
+		}
+		state[t.Name] = done
+		order = append(order, t)
+		return nil
+	}
+	for _, t := range s.Tables {
+		if err := visit(t); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// TransitiveRefs returns every table reachable from t through FK edges
+// (not including t), in topological order (dependencies first).
+func (s *Schema) TransitiveRefs(t *Table) []*Table {
+	seen := map[string]bool{}
+	var out []*Table
+	var visit func(x *Table)
+	visit = func(x *Table) {
+		refs := s.Referenced(x)
+		sort.Strings(refs)
+		for _, ref := range refs {
+			if !seen[ref] {
+				seen[ref] = true
+				rt := s.byName[ref]
+				visit(rt)
+				out = append(out, rt)
+			}
+		}
+	}
+	visit(t)
+	return out
+}
+
+// AttrRef names one non-key attribute of one table, the unit the
+// preprocessor works with when building views.
+type AttrRef struct {
+	Table string
+	Col   string
+}
+
+func (a AttrRef) String() string { return a.Table + "." + a.Col }

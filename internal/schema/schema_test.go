@@ -1,0 +1,159 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperSchema is the Figure 1a toy schema: R(R_pk, S_fk, T_fk),
+// S(S_pk, A, B), T(T_pk, C).
+func paperSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New(
+		&Table{Name: "S", Cols: []Column{{Name: "A", Min: 0, Max: 100}, {Name: "B", Min: 0, Max: 50}}, RowCount: 700},
+		&Table{Name: "T", Cols: []Column{{Name: "C", Min: 0, Max: 10}}, RowCount: 1500},
+		&Table{Name: "R", FKs: []ForeignKey{{FKCol: "S_fk", Ref: "S"}, {FKCol: "T_fk", Ref: "T"}}, RowCount: 80000},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestTopoOrder(t *testing.T) {
+	s := paperSchema(t)
+	order, err := s.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, tab := range order {
+		pos[tab.Name] = i
+	}
+	if pos["R"] < pos["S"] || pos["R"] < pos["T"] {
+		t.Fatalf("R must come after S and T: %v", pos)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	_, err := New(
+		&Table{Name: "A", FKs: []ForeignKey{{FKCol: "b_fk", Ref: "B"}}},
+		&Table{Name: "B", FKs: []ForeignKey{{FKCol: "a_fk", Ref: "A"}}},
+	)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestDAGAllowed(t *testing.T) {
+	// Diamond: D → B, D → C, B → A, C → A. DAGs are explicitly in scope
+	// (§5.3 extends beyond DataSynth's trees).
+	_, err := New(
+		&Table{Name: "A"},
+		&Table{Name: "B", FKs: []ForeignKey{{FKCol: "a_fk", Ref: "A"}}},
+		&Table{Name: "C", FKs: []ForeignKey{{FKCol: "a_fk", Ref: "A"}}},
+		&Table{Name: "D", FKs: []ForeignKey{{FKCol: "b_fk", Ref: "B"}, {FKCol: "c_fk", Ref: "C"}}},
+	)
+	if err != nil {
+		t.Fatalf("diamond DAG should be valid: %v", err)
+	}
+}
+
+func TestSelfReferenceRejected(t *testing.T) {
+	_, err := New(&Table{Name: "A", FKs: []ForeignKey{{FKCol: "a_fk", Ref: "A"}}})
+	if err == nil {
+		t.Fatal("self-referential FK should be rejected")
+	}
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	_, err := New(&Table{Name: "A"}, &Table{Name: "A"})
+	if err == nil {
+		t.Fatal("duplicate table should be rejected")
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	_, err := New(&Table{Name: "A", Cols: []Column{{Name: "x", Max: 1}, {Name: "x", Max: 1}}})
+	if err == nil {
+		t.Fatal("duplicate column should be rejected")
+	}
+}
+
+func TestFKColumnCollisionRejected(t *testing.T) {
+	_, err := New(
+		&Table{Name: "B"},
+		&Table{Name: "A", Cols: []Column{{Name: "x", Max: 1}}, FKs: []ForeignKey{{FKCol: "x", Ref: "B"}}},
+	)
+	if err == nil {
+		t.Fatal("fk/column name collision should be rejected")
+	}
+}
+
+func TestUnknownFKTargetRejected(t *testing.T) {
+	_, err := New(&Table{Name: "A", FKs: []ForeignKey{{FKCol: "z_fk", Ref: "Z"}}})
+	if err == nil {
+		t.Fatal("unknown fk target should be rejected")
+	}
+}
+
+func TestEmptyDomainRejected(t *testing.T) {
+	_, err := New(&Table{Name: "A", Cols: []Column{{Name: "x", Min: 5, Max: 4}}})
+	if err == nil {
+		t.Fatal("empty column domain should be rejected")
+	}
+}
+
+func TestTransitiveRefs(t *testing.T) {
+	s := MustNew(
+		&Table{Name: "A"},
+		&Table{Name: "B", FKs: []ForeignKey{{FKCol: "a_fk", Ref: "A"}}},
+		&Table{Name: "C", FKs: []ForeignKey{{FKCol: "b_fk", Ref: "B"}}},
+	)
+	refs := s.TransitiveRefs(s.MustTable("C"))
+	if len(refs) != 2 || refs[0].Name != "A" || refs[1].Name != "B" {
+		names := make([]string, len(refs))
+		for i, r := range refs {
+			names[i] = r.Name
+		}
+		t.Fatalf("TransitiveRefs = %v, want [A B] (dependencies first)", names)
+	}
+}
+
+func TestTransitiveRefsDiamondDeduplicates(t *testing.T) {
+	s := MustNew(
+		&Table{Name: "A"},
+		&Table{Name: "B", FKs: []ForeignKey{{FKCol: "a_fk", Ref: "A"}}},
+		&Table{Name: "C", FKs: []ForeignKey{{FKCol: "a_fk", Ref: "A"}}},
+		&Table{Name: "D", FKs: []ForeignKey{{FKCol: "b_fk", Ref: "B"}, {FKCol: "c_fk", Ref: "C"}}},
+	)
+	refs := s.TransitiveRefs(s.MustTable("D"))
+	if len(refs) != 3 {
+		t.Fatalf("diamond should yield 3 unique refs, got %d", len(refs))
+	}
+	if refs[0].Name != "A" {
+		t.Fatalf("A must come first (dependency order), got %s", refs[0].Name)
+	}
+}
+
+func TestColLookup(t *testing.T) {
+	s := paperSchema(t)
+	tab := s.MustTable("S")
+	if c, ok := tab.Col("A"); !ok || c.Max != 100 {
+		t.Fatal("Col lookup broken")
+	}
+	if tab.ColIndex("B") != 1 || tab.ColIndex("missing") != -1 {
+		t.Fatal("ColIndex broken")
+	}
+}
+
+func TestReferencedDeduplicates(t *testing.T) {
+	s := MustNew(
+		&Table{Name: "D"},
+		&Table{Name: "F", FKs: []ForeignKey{{FKCol: "d1", Ref: "D"}, {FKCol: "d2", Ref: "D"}}},
+	)
+	refs := s.Referenced(s.MustTable("F"))
+	if len(refs) != 1 || refs[0] != "D" {
+		t.Fatalf("Referenced = %v, want [D]", refs)
+	}
+}

@@ -1,0 +1,275 @@
+// Package storage is the on-disk row store behind Hydra's static
+// materialization path and the "disk scan" side of the paper's Fig. 15
+// experiment. Relations are stored as paged heap files: a JSON header page
+// describing the layout followed by fixed-size pages of densely packed
+// fixed-width little-endian int64 rows.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// PageSize is the heap file page size. 8 KiB matches PostgreSQL's default
+// block size, keeping scan behaviour comparable to the paper's host engine.
+const PageSize = 8192
+
+const magic = "HYDRAHF1"
+
+// header is the first page's JSON payload.
+type header struct {
+	Magic   string   `json:"magic"`
+	Name    string   `json:"name"`
+	Cols    []string `json:"cols"`
+	NumRows int64    `json:"num_rows"`
+}
+
+// Writer streams rows into a heap file.
+type Writer struct {
+	f        *os.File
+	bw       *bufio.Writer
+	name     string
+	cols     []string
+	rowBytes int
+	perPage  int
+	inPage   int
+	numRows  int64
+	closed   bool
+}
+
+// Create opens a heap file for writing. cols must include the pk column at
+// index 0.
+func Create(path, name string, cols []string) (*Writer, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("storage: relation %q needs at least one column", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		f:        f,
+		bw:       bufio.NewWriterSize(f, PageSize*8),
+		name:     name,
+		cols:     cols,
+		rowBytes: 8 * len(cols),
+	}
+	w.perPage = PageSize / w.rowBytes
+	if w.perPage == 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: row of %d columns exceeds page size", len(cols))
+	}
+	// Reserve the header page; it is rewritten with the final row count
+	// on Close.
+	if _, err := w.bw.Write(make([]byte, PageSize)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write appends one row.
+func (w *Writer) Write(row []int64) error {
+	if len(row) != len(w.cols) {
+		return fmt.Errorf("storage: row width %d != %d", len(row), len(w.cols))
+	}
+	if w.inPage == w.perPage {
+		// Pad the remainder of the page.
+		pad := PageSize - w.perPage*w.rowBytes
+		if pad > 0 {
+			if _, err := w.bw.Write(make([]byte, pad)); err != nil {
+				return err
+			}
+		}
+		w.inPage = 0
+	}
+	var buf [8]byte
+	for _, v := range row {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		if _, err := w.bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	w.inPage++
+	w.numRows++
+	return nil
+}
+
+// Close flushes data and rewrites the header page with the final count.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	// Pad the final page so readers can always fetch whole pages.
+	if w.inPage > 0 {
+		pad := PageSize - w.inPage*w.rowBytes
+		if pad > 0 {
+			if _, err := w.bw.Write(make([]byte, pad)); err != nil {
+				w.f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	h := header{Magic: magic, Name: w.name, Cols: w.cols, NumRows: w.numRows}
+	hb, err := json.Marshal(&h)
+	if err != nil {
+		w.f.Close()
+		return err
+	}
+	if len(hb) > PageSize {
+		w.f.Close()
+		return fmt.Errorf("storage: header too large (%d bytes)", len(hb))
+	}
+	page := make([]byte, PageSize)
+	copy(page, hb)
+	if _, err := w.f.WriteAt(page, 0); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// DiskRelation reads a heap file; it implements engine.Relation.
+type DiskRelation struct {
+	path    string
+	name    string
+	cols    []string
+	numRows int64
+	rowB    int
+	perPage int
+}
+
+// Open maps an existing heap file.
+func Open(path string) (*DiskRelation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	page := make([]byte, PageSize)
+	if _, err := io.ReadFull(f, page); err != nil {
+		return nil, fmt.Errorf("storage: %s: short header: %w", path, err)
+	}
+	end := 0
+	for end < len(page) && page[end] != 0 {
+		end++
+	}
+	var h header
+	if err := json.Unmarshal(page[:end], &h); err != nil {
+		return nil, fmt.Errorf("storage: %s: bad header: %w", path, err)
+	}
+	if h.Magic != magic {
+		return nil, fmt.Errorf("storage: %s: not a hydra heap file", path)
+	}
+	d := &DiskRelation{
+		path: path, name: h.Name, cols: h.Cols, numRows: h.NumRows,
+		rowB: 8 * len(h.Cols),
+	}
+	d.perPage = PageSize / d.rowB
+	return d, nil
+}
+
+// Name returns the relation name.
+func (d *DiskRelation) Name() string { return d.name }
+
+// Cols returns the column names.
+func (d *DiskRelation) Cols() []string { return d.cols }
+
+// NumRows returns the stored cardinality.
+func (d *DiskRelation) NumRows() int64 { return d.numRows }
+
+// Path returns the backing file path.
+func (d *DiskRelation) Path() string { return d.path }
+
+// SizeBytes returns the heap file size on disk.
+func (d *DiskRelation) SizeBytes() (int64, error) {
+	st, err := os.Stat(d.path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+type diskIter struct {
+	f       *os.File
+	br      *bufio.Reader
+	d       *DiskRelation
+	page    []byte
+	inPage  int
+	pagePos int
+	read    int64
+	row     []int64
+	err     error
+}
+
+// Scan returns a sequential scanner over the heap file.
+func (d *DiskRelation) Scan() *diskIterWrap {
+	f, err := os.Open(d.path)
+	it := &diskIter{f: f, d: d, row: make([]int64, len(d.cols)), err: err}
+	if err == nil {
+		it.br = bufio.NewReaderSize(f, PageSize*8)
+		// Skip the header page.
+		if _, err := it.br.Discard(PageSize); err != nil {
+			it.err = err
+		}
+		it.page = make([]byte, PageSize)
+		it.inPage = d.perPage // force a page load
+	}
+	return &diskIterWrap{it}
+}
+
+// diskIterWrap adapts diskIter to engine.Iterator's interface shape
+// without importing the engine package (storage sits below it).
+type diskIterWrap struct{ it *diskIter }
+
+// Next returns the next row; the slice is reused between calls.
+func (w *diskIterWrap) Next() ([]int64, bool) {
+	it := w.it
+	if it.err != nil || it.read >= it.d.numRows {
+		return nil, false
+	}
+	if it.inPage == it.d.perPage {
+		if _, err := io.ReadFull(it.br, it.page); err != nil {
+			it.err = err
+			return nil, false
+		}
+		it.inPage = 0
+		it.pagePos = 0
+	}
+	for i := range it.row {
+		it.row[i] = int64(binary.LittleEndian.Uint64(it.page[it.pagePos:]))
+		it.pagePos += 8
+	}
+	it.inPage++
+	it.read++
+	return it.row, true
+}
+
+// Close releases the file handle.
+func (w *diskIterWrap) Close() error {
+	if w.it.f != nil {
+		return w.it.f.Close()
+	}
+	return nil
+}
+
+// Err reports a scan error, if any occurred before the natural end.
+func (w *diskIterWrap) Err() error {
+	if w.it.read >= w.it.d.numRows {
+		return nil
+	}
+	return w.it.err
+}

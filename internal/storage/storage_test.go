@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func writeRel(t *testing.T, path string, cols []string, rows [][]int64) *DiskRelation {
+	t.Helper()
+	w, err := Create(path, "rel", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRoundTripExactPageBoundary(t *testing.T) {
+	// 2 cols → 16 B/row → 512 rows/page. Test counts around the page
+	// boundary, including exactly one page and one page plus one row.
+	for _, n := range []int{0, 1, 511, 512, 513, 1024, 1025} {
+		rows := make([][]int64, n)
+		for i := range rows {
+			rows[i] = []int64{int64(i + 1), int64(i * 3)}
+		}
+		d := writeRel(t, filepath.Join(t.TempDir(), "x.heap"), []string{"pk", "v"}, rows)
+		if d.NumRows() != int64(n) {
+			t.Fatalf("n=%d: NumRows=%d", n, d.NumRows())
+		}
+		it := d.Scan()
+		got := 0
+		for {
+			row, ok := it.Next()
+			if !ok {
+				break
+			}
+			if row[0] != int64(got+1) || row[1] != int64(got*3) {
+				t.Fatalf("n=%d row %d: %v", n, got, row)
+			}
+			got++
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got != n {
+			t.Fatalf("n=%d: scanned %d", n, got)
+		}
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	rows := [][]int64{{1, -42}, {2, -9_000_000_000}}
+	d := writeRel(t, filepath.Join(t.TempDir(), "neg.heap"), []string{"pk", "v"}, rows)
+	it := d.Scan()
+	r1, _ := it.Next()
+	if r1[1] != -42 {
+		t.Fatalf("got %v", r1)
+	}
+	r2, _ := it.Next()
+	if r2[1] != -9_000_000_000 {
+		t.Fatalf("got %v", r2)
+	}
+	it.Close()
+}
+
+func TestHeaderMetadata(t *testing.T) {
+	d := writeRel(t, filepath.Join(t.TempDir(), "m.heap"), []string{"pk", "a", "b"}, [][]int64{{1, 2, 3}})
+	if d.Name() != "rel" {
+		t.Fatalf("name = %s", d.Name())
+	}
+	cols := d.Cols()
+	if len(cols) != 3 || cols[1] != "a" {
+		t.Fatalf("cols = %v", cols)
+	}
+	sz, err := d.SizeBytes()
+	if err != nil || sz < PageSize {
+		t.Fatalf("size = %d err=%v", sz, err)
+	}
+}
+
+func TestWrongWidthRejected(t *testing.T) {
+	w, err := Create(filepath.Join(t.TempDir(), "w.heap"), "rel", []string{"pk", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Write([]int64{1, 2, 3}); err == nil {
+		t.Fatal("wrong row width must be rejected")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, make([]byte, PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("garbage file must be rejected")
+	}
+	if err := os.WriteFile(path, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("short file must be rejected")
+	}
+}
+
+func TestDoubleCloseIsSafe(t *testing.T) {
+	w, err := Create(filepath.Join(t.TempDir(), "d.heap"), "rel", []string{"pk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+}
+
+// Property: any random row matrix round-trips exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	k := 0
+	f := func(seed int64) bool {
+		k++
+		rng := rand.New(rand.NewSource(seed))
+		nCols := 1 + rng.Intn(6)
+		cols := make([]string, nCols)
+		for i := range cols {
+			cols[i] = string(rune('a' + i))
+		}
+		n := rng.Intn(2000)
+		rows := make([][]int64, n)
+		for i := range rows {
+			rows[i] = make([]int64, nCols)
+			for j := range rows[i] {
+				rows[i][j] = rng.Int63() - rng.Int63()
+			}
+		}
+		path := filepath.Join(dir, "q", string(rune('a'+k%26))+string(rune('0'+k%10))+".heap")
+		os.MkdirAll(filepath.Dir(path), 0o755)
+		d := writeRel(t, path, cols, rows)
+		it := d.Scan()
+		defer it.Close()
+		for i := 0; ; i++ {
+			row, ok := it.Next()
+			if !ok {
+				return i == n
+			}
+			for j := range row {
+				if row[j] != rows[i][j] {
+					return false
+				}
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

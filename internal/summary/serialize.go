@@ -1,0 +1,99 @@
+package summary
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// summaryJSON is the on-disk representation. The summary is deliberately a
+// plain, versioned JSON document: it is tiny (independent of data scale, a
+// few KB for TPC-DS-class workloads), human-inspectable like the paper's
+// Fig. 5, and the natural hand-off artifact between the vendor-side
+// generator and the engine-side tuple generator.
+type summaryJSON struct {
+	Version   int                         `json:"version"`
+	Relations map[string]*RelationSummary `json:"relations"`
+	Views     map[string]*ViewSummary     `json:"views"`
+	Extra     map[string]int64            `json:"extra_tuples"`
+}
+
+const formatVersion = 1
+
+// WriteTo serializes the summary as JSON.
+func (s *Summary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	doc := summaryJSON{
+		Version:   formatVersion,
+		Relations: s.Relations,
+		Views:     s.Views,
+		Extra:     s.Extra,
+	}
+	if err := enc.Encode(&doc); err != nil {
+		return 0, fmt.Errorf("summary: encode: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// Read deserializes a summary written by WriteTo.
+func Read(r io.Reader) (*Summary, error) {
+	var doc summaryJSON
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("summary: decode: %w", err)
+	}
+	if doc.Version != formatVersion {
+		return nil, fmt.Errorf("summary: unsupported format version %d", doc.Version)
+	}
+	s := &Summary{
+		Relations: doc.Relations,
+		Views:     doc.Views,
+		Extra:     doc.Extra,
+		Stats:     nil,
+	}
+	if s.Relations == nil {
+		return nil, fmt.Errorf("summary: document has no relations")
+	}
+	for name, rs := range s.Relations {
+		var total int64
+		for _, row := range rs.Rows {
+			if row.Count < 0 {
+				return nil, fmt.Errorf("summary: relation %s has negative count", name)
+			}
+			total += row.Count
+		}
+		if rs.Total != total {
+			return nil, fmt.Errorf("summary: relation %s total %d != row sum %d", name, rs.Total, total)
+		}
+	}
+	return s, nil
+}
+
+// Save writes the summary to a file.
+func (s *Summary) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := s.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a summary from a file.
+func Load(path string) (*Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,12 @@
+package tpcds
+
+import (
+	"math/big"
+
+	"github.com/dsl-repro/hydra/internal/core"
+	"github.com/dsl-repro/hydra/internal/partition"
+)
+
+func gridCells(in core.SubViewInput) *big.Int {
+	return partition.NewGrid(in.Space, in.Cons).Cells
+}

@@ -1,0 +1,209 @@
+package tpcds
+
+import (
+	"fmt"
+
+	"github.com/dsl-repro/hydra/internal/engine"
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/schema"
+	"github.com/dsl-repro/hydra/internal/workload"
+)
+
+// DefaultComplexQueries matches the paper's WLc: 131 distinct queries.
+const DefaultComplexQueries = 131
+
+// factWeights biases query roots toward the big fact tables, mimicking the
+// benchmark's emphasis.
+var factWeights = []struct {
+	name   string
+	weight int
+}{
+	{"store_sales", 30},
+	{"catalog_sales", 20},
+	{"web_sales", 15},
+	{"inventory", 10},
+	{"store_returns", 10},
+	{"catalog_returns", 8},
+	{"web_returns", 7},
+}
+
+func pickFact(g *workload.Gen) string {
+	total := 0
+	for _, f := range factWeights {
+		total += f.weight
+	}
+	x := g.Rng.Intn(total)
+	for _, f := range factWeights {
+		x -= f.weight
+		if x < 0 {
+			return f.name
+		}
+	}
+	return factWeights[0].name
+}
+
+// QueriesComplex generates the WLc workload: n queries with 1–4 dimension
+// joins, free-form range constants, multi-attribute conjuncts and DNF
+// filters. The unquantized constants make every attribute accumulate many
+// interval boundaries across the workload, which is exactly what blows up
+// DataSynth's grids (Fig. 12/13) while Hydra's regions stay small.
+func QueriesComplex(s *schema.Schema, cfg Config, n int) []*engine.Query {
+	if n <= 0 {
+		n = DefaultComplexQueries
+	}
+	g := workload.NewGen(cfg.Seed + 1000)
+	// Few distinct constants per column: benchmark queries instantiate a
+	// small set of templates, so predicate boundaries repeat heavily.
+	// This is what keeps the paper's per-view LPs in the low thousands of
+	// variables even for 131 queries.
+	g.PoolSize = 4
+	// Filters concentrate on one or two "hot" columns per table, the way
+	// real TPC-DS predicates concentrate on d_year, i_category and the
+	// like. Attribute diversity per table is what determines view-graph
+	// clique sizes — and region counts grow with the product of atom
+	// counts across a clique's shared attributes — so this concentration
+	// is the structural property that keeps Hydra's LPs small on real
+	// workloads.
+	hotCol := func(tab *schema.Table) int {
+		switch r := g.Rng.Intn(100); {
+		case r < 75 || len(tab.Cols) == 1:
+			return 0
+		case r < 95 || len(tab.Cols) == 2:
+			return 1
+		default:
+			return g.Rng.Intn(len(tab.Cols))
+		}
+	}
+	// Filter templates per table: most filters reuse an earlier template
+	// verbatim, mirroring shared template parameters (the paper's 131
+	// queries yield only 351 distinct CCs — about 2.7 per query).
+	templates := map[string][]pred.DNF{}
+	pickFilter := func(tab *schema.Table) pred.DNF {
+		if ts := templates[tab.Name]; len(ts) > 0 && g.Rng.Intn(100) < 65 {
+			return ts[g.Rng.Intn(len(ts))]
+		}
+		var f pred.DNF
+		switch r := g.Rng.Intn(100); {
+		case r < 15:
+			// 15%: DNF filter — two disjunct ranges over hot columns.
+			c1 := g.RangeFilter(tab, hotCol(tab))
+			c2 := g.RangeFilter(tab, hotCol(tab))
+			f = c1.Or(c2)
+		case r < 35 && len(tab.Cols) >= 2:
+			// 20%: conjunct over the two hottest columns.
+			f = g.ConjFilter(tab, []int{0, 1})
+		default:
+			// 65%: single range on a hot column.
+			f = g.RangeFilter(tab, hotCol(tab))
+		}
+		templates[tab.Name] = append(templates[tab.Name], f)
+		return f
+	}
+	queries := make([]*engine.Query, 0, n)
+	for qi := 0; qi < n; qi++ {
+		root := pickFact(g)
+		rt := s.MustTable(root)
+		// Join fan-out skews low, as in the benchmark's plan shapes after
+		// the paper's query simplification (1 join 50%, 2 30%, 3 15%,
+		// 4 5%).
+		nDims := 1
+		switch r := g.Rng.Intn(100); {
+		case r < 50:
+			nDims = 1
+		case r < 80:
+			nDims = 2
+		case r < 95:
+			nDims = 3
+		default:
+			nDims = 4
+		}
+		dimIdx := g.Pick(len(rt.FKs), nDims)
+		q := &engine.Query{
+			Name:    fmt.Sprintf("wlc_q%d", qi+1),
+			Root:    root,
+			Filters: map[string]pred.DNF{},
+		}
+		// Filter only 1–2 of the joined dimensions (occasionally 3), as
+		// TPC-DS queries do: the remaining joins are pure lookups. This
+		// bounds the attribute span of the derived join CCs, which in
+		// turn bounds the clique sizes of the view-graph — the property
+		// that keeps Hydra's region counts in the paper's low-thousands
+		// range.
+		nFiltered := 1 + g.Rng.Intn(2)
+		if g.Rng.Intn(100) < 15 {
+			nFiltered = 3
+		}
+		for ji, di := range dimIdx {
+			dim := rt.FKs[di].Ref
+			q.Joins = append(q.Joins, engine.JoinStep{Table: dim, Via: root})
+			if ji < nFiltered {
+				q.Filters[dim] = pickFilter(s.MustTable(dim))
+			}
+		}
+		// 40% of queries also filter the fact table itself.
+		if g.Rng.Intn(100) < 40 && len(rt.Cols) > 0 {
+			q.Filters[root] = pickFilter(rt)
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// QueriesSimple generates the WLs workload: fewer joins, one single-range
+// filter per dimension, and constants snapped to an 8-step quantization of
+// each domain. Quantization keeps the per-attribute interval boundaries
+// from accumulating across queries, so DataSynth's grids stay within
+// solver capacity — the regime of the paper's Figures 10/13/14.
+func QueriesSimple(s *schema.Schema, cfg Config, n int) []*engine.Query {
+	if n <= 0 {
+		n = 90
+	}
+	g := workload.NewGen(cfg.Seed + 2000)
+	queries := make([]*engine.Query, 0, n)
+	for qi := 0; qi < n; qi++ {
+		root := pickFact(g)
+		rt := s.MustTable(root)
+		nDims := 1 + g.Rng.Intn(2)
+		dimIdx := g.Pick(len(rt.FKs), nDims)
+		q := &engine.Query{
+			Name:    fmt.Sprintf("wls_q%d", qi+1),
+			Root:    root,
+			Filters: map[string]pred.DNF{},
+		}
+		for _, di := range dimIdx {
+			dim := rt.FKs[di].Ref
+			q.Joins = append(q.Joins, engine.JoinStep{Table: dim, Via: root})
+			dt := s.MustTable(dim)
+			col := g.Rng.Intn(len(dt.Cols))
+			q.Filters[dim] = quantizedRange(g, dt, col, 8)
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// quantizedRange builds a range filter whose endpoints sit on a steps-way
+// quantization of the column domain. Both endpoints are clamped inside the
+// domain so that small domains (fewer values than steps) still yield a
+// non-empty range.
+func quantizedRange(g *workload.Gen, t *schema.Table, col, steps int) pred.DNF {
+	c := t.Cols[col]
+	span := c.Max - c.Min + 1
+	step := span / int64(steps)
+	if step < 1 {
+		step = 1
+	}
+	loStep := g.Rng.Intn(steps - 1)
+	width := 1 + g.Rng.Intn(steps-loStep-1)
+	lo := c.Min + int64(loStep)*step
+	if lo > c.Max {
+		lo = c.Max
+	}
+	hi := c.Min + int64(loStep+width)*step - 1
+	if hi > c.Max {
+		hi = c.Max
+	}
+	return pred.DNF{Terms: []pred.Conjunct{
+		pred.NewConjunct().With(col, pred.Range(lo, hi)),
+	}}
+}

@@ -1,0 +1,172 @@
+// Package workload provides the shared machinery of Hydra's benchmark
+// substrates (the TPC-DS-like and JOB-like environments of §7): seeded
+// value distributions with controlled skew and correlation for client data
+// generation, and helpers for synthesizing filter predicates with a wide
+// spread of selectivities — the property behind the paper's Figures 9 and
+// 16 (CC cardinalities ranging from a few tuples to a billion).
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/dsl-repro/hydra/internal/pred"
+	"github.com/dsl-repro/hydra/internal/schema"
+)
+
+// Gen wraps a seeded RNG with the distribution primitives the substrates
+// use. It is not safe for concurrent use.
+type Gen struct {
+	Rng *rand.Rand
+	// PoolSize bounds the number of distinct predicate boundary values
+	// per column across the whole workload. Real benchmark workloads are
+	// instantiated from templates, so constants repeat heavily; bounding
+	// the pool reproduces that. Zero means 12.
+	PoolSize int
+	pools    map[poolKey][]int64
+}
+
+type poolKey struct {
+	table string
+	col   int
+}
+
+// NewGen returns a generator with a deterministic stream.
+func NewGen(seed int64) *Gen {
+	return &Gen{Rng: rand.New(rand.NewSource(seed)), pools: map[poolKey][]int64{}}
+}
+
+// boundary draws a predicate constant for (table, col) from the column's
+// bounded constant pool, creating pool entries on demand.
+func (g *Gen) boundary(tab *schema.Table, col int) int64 {
+	size := g.PoolSize
+	if size <= 0 {
+		size = 12
+	}
+	k := poolKey{tab.Name, col}
+	pool := g.pools[k]
+	if len(pool) < size {
+		c := tab.Cols[col]
+		v := g.Uniform(c.Min, c.Max)
+		pool = append(pool, v)
+		g.pools[k] = pool
+		return v
+	}
+	return pool[g.Rng.Intn(len(pool))]
+}
+
+// poolRange draws an interval whose endpoints come from the column's
+// constant pool (inclusive of the domain edges).
+func (g *Gen) poolRange(tab *schema.Table, col int) (int64, int64) {
+	c := tab.Cols[col]
+	a := g.boundary(tab, col)
+	b := g.boundary(tab, col)
+	if a > b {
+		a, b = b, a
+	}
+	// Occasionally open an end to the domain edge, as one-sided
+	// predicates do.
+	switch g.Rng.Intn(6) {
+	case 0:
+		a = c.Min
+	case 1:
+		b = c.Max
+	}
+	return a, b
+}
+
+// Uniform draws uniformly from [lo, hi].
+func (g *Gen) Uniform(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.Rng.Int63n(hi-lo+1)
+}
+
+// Zipf draws from [lo, hi] with a Zipf-like rank-frequency skew of
+// exponent s (s≈1 heavy skew, s→0 uniform). Small ranks (values near lo)
+// are the most frequent — the shape of real-world categorical columns that
+// makes JOB's CC cardinalities span six orders of magnitude.
+func (g *Gen) Zipf(lo, hi int64, s float64) int64 {
+	n := hi - lo + 1
+	if n <= 1 {
+		return lo
+	}
+	// Inverse-CDF sampling of p(k) ∝ (k+1)^-s via rejection-free
+	// approximation: u^(1/(1-s)) concentrates mass at small ranks.
+	if s >= 0.999 {
+		s = 0.999
+	}
+	u := g.Rng.Float64()
+	k := int64(math.Pow(u, 1/(1-s)) * float64(n))
+	if k >= n {
+		k = n - 1
+	}
+	return lo + k
+}
+
+// Normalish draws a clamped, rounded pseudo-normal around mean with the
+// given standard deviation — used for correlated numeric columns (e.g.
+// price given category).
+func (g *Gen) Normalish(mean, stddev, lo, hi int64) int64 {
+	v := int64(math.Round(g.Rng.NormFloat64()*float64(stddev))) + mean
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// RangeFilter builds a single-attribute range predicate over column col of
+// tab. Endpoints come from the column's bounded constant pool, so
+// selectivities vary while distinct boundaries per column stay bounded
+// across the workload (the template-instantiation property of real
+// benchmarks that keeps Hydra's LPs at the paper's reported sizes).
+func (g *Gen) RangeFilter(tab *schema.Table, col int) pred.DNF {
+	lo, hi := g.poolRange(tab, col)
+	return pred.DNF{Terms: []pred.Conjunct{
+		pred.NewConjunct().With(col, pred.Range(lo, hi)),
+	}}
+}
+
+// ConjFilter builds a conjunctive predicate over the given columns of tab.
+func (g *Gen) ConjFilter(tab *schema.Table, cols []int) pred.DNF {
+	conj := pred.NewConjunct()
+	for _, col := range cols {
+		lo, hi := g.poolRange(tab, col)
+		conj = conj.With(col, pred.Range(lo, hi))
+	}
+	return pred.DNF{Terms: []pred.Conjunct{conj}}
+}
+
+// DNFFilter builds a disjunction of nTerms conjuncts over randomly chosen
+// columns of tab — the richer predicate class Hydra supports (§1's
+// "expands the query scope to include DNF filter predicates").
+func (g *Gen) DNFFilter(tab *schema.Table, nTerms, maxColsPerTerm int) pred.DNF {
+	out := pred.DNF{}
+	for t := 0; t < nTerms; t++ {
+		nc := 1 + g.Rng.Intn(maxColsPerTerm)
+		if nc > len(tab.Cols) {
+			nc = len(tab.Cols)
+		}
+		perm := g.Rng.Perm(len(tab.Cols))[:nc]
+		conj := pred.NewConjunct()
+		for _, col := range perm {
+			lo, hi := g.poolRange(tab, col)
+			conj = conj.With(col, pred.Range(lo, hi))
+		}
+		out.Terms = append(out.Terms, conj)
+	}
+	return out
+}
+
+// Pick selects k distinct elements from n (indices), deterministically per
+// stream.
+func (g *Gen) Pick(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	return g.Rng.Perm(n)[:k]
+}

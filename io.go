@@ -1,0 +1,96 @@
+package hydra
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/dsl-repro/hydra/internal/schema"
+)
+
+// schemaDoc is the on-disk schema document.
+type schemaDoc struct {
+	Version int      `json:"version"`
+	Tables  []*Table `json:"tables"`
+}
+
+// workloadDoc is the on-disk workload document.
+type workloadDoc struct {
+	Version  int       `json:"version"`
+	Workload *Workload `json:"workload"`
+}
+
+const ioVersion = 1
+
+// SaveSchema writes the schema as JSON.
+func SaveSchema(s *Schema, path string) error {
+	return writeJSON(path, schemaDoc{Version: ioVersion, Tables: s.Tables})
+}
+
+// LoadSchema reads and validates a schema document.
+func LoadSchema(path string) (*Schema, error) {
+	var doc schemaDoc
+	if err := readJSON(path, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Version != ioVersion {
+		return nil, fmt.Errorf("hydra: schema %s: unsupported version %d", path, doc.Version)
+	}
+	return schema.New(doc.Tables...)
+}
+
+// SaveWorkload writes the CC workload as JSON — the artifact the client
+// ships to the vendor (after anonymization).
+func SaveWorkload(w *Workload, path string) error {
+	return writeJSON(path, workloadDoc{Version: ioVersion, Workload: w})
+}
+
+// LoadWorkload reads a workload document; callers should validate it
+// against the schema with Workload.Validate.
+func LoadWorkload(path string) (*Workload, error) {
+	var doc workloadDoc
+	if err := readJSON(path, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Version != ioVersion {
+		return nil, fmt.Errorf("hydra: workload %s: unsupported version %d", path, doc.Version)
+	}
+	if doc.Workload == nil {
+		return nil, fmt.Errorf("hydra: workload %s: missing body", path)
+	}
+	return doc.Workload, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("hydra: %s: %w", path, err)
+	}
+	return nil
+}
