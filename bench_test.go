@@ -214,6 +214,38 @@ func BenchmarkFig14_Materialization(b *testing.B) {
 	}
 }
 
+// BenchmarkMaterializeParallel measures generation throughput scaling of
+// the matgen worker pool against the discard sink (pure generation plus
+// pool overhead, no encoding or disk), at 1, 2, 4 and 8 workers. The
+// output is byte-identical at every worker count; only wall time moves.
+func BenchmarkMaterializeParallel(b *testing.B) {
+	e := getEnv(b)
+	res, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows int64
+	for _, rs := range res.Summary.Relations {
+		rows += rs.Total
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := hydra.Materialize(res.Summary, hydra.MaterializeOptions{
+					Format: "discard", Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Rows != rows {
+					b.Fatalf("rows = %d, want %d", rep.Rows, rows)
+				}
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
 // BenchmarkSec74_ExabyteSummary measures summary construction with CC
 // counts scaled to exabyte-class volumes — the §7.4 scale-independence
 // claim: this should not be slower than BenchmarkFig13 at base scale.

@@ -6,26 +6,29 @@
 //
 //	summarize   -schema s.json -workload w.json -out summary.json
 //	validate    -schema s.json -workload w.json -summary summary.json
-//	materialize -summary summary.json -dir out/
+//	materialize -summary summary.json -dir out/ [-format heap|csv|jsonl|sql|discard]
+//	            [-workers K] [-shards N] [-shard i/N] [-tables a,b] [-fkspread]
 //	generate    -summary summary.json -table T [-n 10] [-from 1]
 //	demo        (runs the paper's Figure 1 scenario end to end)
+//
+// Materialization runs on the parallel sharded engine (internal/matgen):
+// output bytes are identical for any -workers count, and the -shard i/N
+// pieces of a multi-machine run concatenate (in shard order) into
+// byte-identical whole-table files, with a per-shard JSON manifest.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	hydra "github.com/dsl-repro/hydra"
-	"github.com/dsl-repro/hydra/internal/engine"
 	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/summary"
-	"github.com/dsl-repro/hydra/internal/tuplegen"
 )
 
 func main() {
@@ -64,7 +67,8 @@ func usage() {
 usage:
   hydra summarize   -schema s.json -workload w.json -out summary.json
   hydra validate    -schema s.json -workload w.json -summary summary.json
-  hydra materialize -summary summary.json -dir out/
+  hydra materialize -summary summary.json -dir out/ [-format heap|csv|jsonl|sql|discard]
+                    [-workers K] [-shards N] [-shard i/N] [-tables a,b] [-fkspread]
   hydra generate    -summary summary.json -table T [-n 10] [-from 1]
   hydra demo
 `)
@@ -151,7 +155,13 @@ func cmdValidate(args []string) error {
 func cmdMaterialize(args []string) error {
 	fs := flag.NewFlagSet("materialize", flag.ExitOnError)
 	sumPath := fs.String("summary", "", "summary JSON")
-	dir := fs.String("dir", "hydra_db", "output directory for heap files")
+	dir := fs.String("dir", "hydra_db", "output directory")
+	format := fs.String("format", "heap", "output format: "+strings.Join(hydra.MaterializeFormats(), "|"))
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); output is byte-identical for any count")
+	shards := fs.Int("shards", 1, "split each table into N concatenable pieces (all generated locally unless -shard is given)")
+	shardSpec := fs.String("shard", "", "generate only piece i/N, 1-based (e.g. -shard 2/4), for multi-machine runs")
+	tables := fs.String("tables", "", "comma-separated subset of relations (default all)")
+	spread := fs.Bool("fkspread", false, "spread FKs round-robin within referenced spans")
 	fs.Parse(args)
 	if *sumPath == "" {
 		return fmt.Errorf("materialize: -summary is required")
@@ -160,28 +170,66 @@ func cmdMaterialize(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		return err
+	opts := hydra.MaterializeOptions{
+		Dir:      *dir,
+		Format:   *format,
+		Workers:  *workers,
+		Shards:   *shards,
+		FKSpread: *spread,
 	}
-	names := make([]string, 0, len(sum.Relations))
-	for name := range sum.Relations {
-		names = append(names, name)
+	if *tables != "" {
+		for _, name := range strings.Split(*tables, ",") {
+			opts.Tables = append(opts.Tables, strings.TrimSpace(name))
+		}
 	}
-	sort.Strings(names)
-	start := time.Now()
+	// -shard i/N pins one piece; plain -shards N generates all N pieces
+	// locally (handy for verifying that parts concatenate).
+	pieces := []int{0}
+	if *shardSpec != "" {
+		var i, n int
+		var tail string
+		cnt, err := fmt.Sscanf(*shardSpec, "%d/%d%s", &i, &n, &tail)
+		if err != io.EOF || cnt != 2 || i < 1 || n < 1 || i > n {
+			return fmt.Errorf("materialize: -shard wants i/N with 1 <= i <= N, got %q", *shardSpec)
+		}
+		if *shards != 1 && *shards != n {
+			return fmt.Errorf("materialize: -shards %d conflicts with -shard %s", *shards, *shardSpec)
+		}
+		opts.Shards, pieces = n, []int{i - 1}
+	} else if opts.Shards > 1 {
+		pieces = pieces[:0]
+		for i := 0; i < opts.Shards; i++ {
+			pieces = append(pieces, i)
+		}
+	}
 	var total int64
-	for _, name := range names {
-		gen := engine.NewGenRelation(tuplegen.New(sum.Relations[name]))
-		path := filepath.Join(*dir, name+".heap")
-		d, err := engine.MaterializeToDisk(gen, path)
+	var elapsed time.Duration
+	for _, piece := range pieces {
+		opts.Shard = piece
+		rep, err := hydra.Materialize(sum, opts)
 		if err != nil {
 			return err
 		}
-		sz, _ := d.SizeBytes()
-		fmt.Printf("  %-24s %12d rows %10.1f MB  %s\n", name, d.NumRows(), float64(sz)/1e6, path)
-		total += d.NumRows()
+		for _, tr := range rep.Tables {
+			where := tr.Path
+			if where == "" {
+				where = "(discarded)"
+			}
+			fmt.Printf("  %-24s %12d rows %10.1f MB  %s\n",
+				tr.Table, tr.Rows, float64(tr.Bytes)/1e6, where)
+		}
+		if rep.ManifestPath != "" {
+			fmt.Printf("  shard %d/%d manifest: %s\n", rep.Shard+1, rep.Shards, rep.ManifestPath)
+		}
+		total += rep.Rows
+		elapsed += rep.Elapsed
 	}
-	fmt.Printf("materialized %d tuples in %v\n", total, time.Since(start).Round(time.Millisecond))
+	rate := float64(0)
+	if elapsed > 0 {
+		rate = float64(total) / elapsed.Seconds()
+	}
+	fmt.Printf("materialized %d tuples in %v (%.0f rows/sec, format %s)\n",
+		total, elapsed.Round(time.Millisecond), rate, *format)
 	return nil
 }
 

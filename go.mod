@@ -1,0 +1,3 @@
+module github.com/dsl-repro/hydra
+
+go 1.24

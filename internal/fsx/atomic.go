@@ -1,0 +1,49 @@
+// Package fsx holds small filesystem helpers shared by the I/O layers:
+// the root facade's schema/workload documents, the summary serializer, and
+// the matgen shard manifests all funnel writes through WriteAtomic so a
+// crash mid-write never leaves a truncated artifact behind.
+package fsx
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes a file by streaming into a temp file in the target
+// directory and renaming it into place. Readers therefore observe either
+// the old content or the complete new content, never a partial write. On
+// any error the temp file is removed and the original path is untouched.
+func WriteAtomic(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// CreateTemp's 0600 would stick after the rename; match os.Create's
+	// permissions so the swap-in is invisible to downstream readers.
+	err = f.Chmod(0o644)
+	bw := bufio.NewWriter(f)
+	if err == nil {
+		err = write(bw)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

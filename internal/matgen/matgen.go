@@ -1,0 +1,385 @@
+// Package matgen is Hydra's parallel materialization engine: it turns a
+// scale-independent database summary into actual big data volumes. Where
+// the original materialize path generated one tuple at a time into one
+// heap file, matgen streams column-major batches (tuplegen.Batch) through
+// a deterministic sharded worker pool into pluggable sinks (heap, CSV,
+// JSONL, SQL INSERT, discard).
+//
+// Determinism is the design center, in three layers:
+//
+//  1. Sinks are stateless encoders: a chunk's bytes depend only on the
+//     table layout and the chunk's absolute row offsets.
+//  2. Chunk and shard boundaries respect the sink's alignment (heap page
+//     capacity, SQL statement group), so independently encoded pieces
+//     concatenate into exactly a sequential encoder's output.
+//  3. An ordered collector writes worker results strictly in chunk order.
+//
+// Consequently K workers produce byte-identical files to 1 worker, and a
+// table split -shard i/N across N machines concatenates, in shard order,
+// into the byte-identical whole-table file. Each shard also writes a JSON
+// manifest describing its piece, the coordination artifact for
+// multi-machine runs.
+package matgen
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+// DefaultBatchRows is the generator batch granularity when Options leaves
+// BatchRows zero: big enough to amortize the prefix walk and channel
+// hand-off, small enough to stay cache-resident.
+const DefaultBatchRows = 8192
+
+// Options tunes Materialize.
+type Options struct {
+	// Dir is the output directory, created if missing. Required for every
+	// sink that writes files (all but discard).
+	Dir string
+	// Format names the sink: "heap" (default), "csv", "jsonl", "sql" or
+	// "discard". Ignored when Sink is set.
+	Format string
+	// Sink plugs in a custom encoder, overriding Format.
+	Sink Sink
+	// Workers is the parallel encode worker count; 0 means GOMAXPROCS.
+	// Output bytes are identical for every worker count.
+	Workers int
+	// Shards and Shard select one piece of an N-way split: only rows of
+	// shard Shard (0-based) of Shards are generated, into files suffixed
+	// ".part-<i>-of-<n>". Concatenating all parts in shard order yields
+	// byte-identical whole-table output. Zero values mean the single
+	// piece 0 of 1.
+	Shards int
+	Shard  int
+	// Tables restricts materialization to a subset (all when nil).
+	Tables []string
+	// BatchRows overrides DefaultBatchRows.
+	BatchRows int
+	// FKSpread enables tuplegen's spread-FK extension (round-robin FKs
+	// within referenced spans instead of first-row).
+	FKSpread bool
+	// NoManifest suppresses the per-shard JSON manifest.
+	NoManifest bool
+}
+
+// TableReport describes one relation's output from one shard.
+type TableReport struct {
+	Table string `json:"table"`
+	// Path is the file this shard wrote (empty for the discard sink).
+	Path string `json:"path,omitempty"`
+	// StartRow is the absolute 0-based offset of this shard's first row;
+	// the shard covers rows [StartRow, StartRow+Rows).
+	StartRow int64 `json:"start_row"`
+	Rows     int64 `json:"rows"`
+	Bytes    int64 `json:"bytes"`
+	// TotalRows is the full-relation cardinality across all shards.
+	TotalRows int64 `json:"total_rows"`
+}
+
+// Report aggregates one Materialize invocation.
+type Report struct {
+	Format  string
+	Shard   int
+	Shards  int
+	Workers int
+	Tables  []TableReport
+	Rows    int64
+	Bytes   int64
+	Elapsed time.Duration
+	// ManifestPath is where the shard manifest was written, if it was.
+	ManifestPath string
+}
+
+// RowsPerSec returns the generation throughput of the run.
+func (r *Report) RowsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Rows) / r.Elapsed.Seconds()
+}
+
+// Materialize generates the summary's relations through the configured
+// sink. See the package comment for the determinism guarantees.
+func Materialize(sum *summary.Summary, opts Options) (*Report, error) {
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if opts.Shards < 1 || opts.Shard < 0 || opts.Shard >= opts.Shards {
+		return nil, fmt.Errorf("matgen: shard %d of %d out of range", opts.Shard, opts.Shards)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("matgen: workers %d out of range", opts.Workers)
+	}
+	if opts.BatchRows == 0 {
+		opts.BatchRows = DefaultBatchRows
+	}
+	if opts.BatchRows < 1 {
+		return nil, fmt.Errorf("matgen: batch rows %d out of range", opts.BatchRows)
+	}
+	sink := opts.Sink
+	if sink == nil {
+		format := opts.Format
+		if format == "" {
+			format = "heap"
+		}
+		var err error
+		if sink, err = sinkFor(format); err != nil {
+			return nil, err
+		}
+	}
+	tables, err := resolveTables(sum, opts.Tables)
+	if err != nil {
+		return nil, err
+	}
+	needFiles := sink.Ext() != ""
+	if needFiles {
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("matgen: format %q writes files; Dir is required", sink.Name())
+		}
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	rep := &Report{Format: sink.Name(), Shard: opts.Shard, Shards: opts.Shards, Workers: opts.Workers}
+	start := time.Now()
+	for _, name := range tables {
+		tr, err := materializeTable(sum.Relations[name], sink, opts)
+		if err != nil {
+			return nil, fmt.Errorf("matgen: %s: %w", name, err)
+		}
+		rep.Tables = append(rep.Tables, tr)
+		rep.Rows += tr.Rows
+		rep.Bytes += tr.Bytes
+	}
+	rep.Elapsed = time.Since(start)
+	if needFiles && !opts.NoManifest {
+		m := &Manifest{
+			Version: manifestVersion, Format: rep.Format,
+			Shard: rep.Shard, Shards: rep.Shards,
+			Tables: rep.Tables, Rows: rep.Rows, Bytes: rep.Bytes,
+		}
+		path := ManifestPath(opts.Dir, opts.Shard, opts.Shards)
+		if err := writeManifest(path, m); err != nil {
+			return nil, err
+		}
+		rep.ManifestPath = path
+	}
+	return rep, nil
+}
+
+func resolveTables(sum *summary.Summary, subset []string) ([]string, error) {
+	if subset == nil {
+		names := make([]string, 0, len(sum.Relations))
+		for name := range sum.Relations {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return names, nil
+	}
+	seen := make(map[string]bool, len(subset))
+	names := make([]string, 0, len(subset))
+	for _, name := range subset {
+		if _, ok := sum.Relations[name]; !ok {
+			return nil, fmt.Errorf("matgen: summary has no relation %q", name)
+		}
+		if !seen[name] { // a duplicate would double-count rows in the report
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// partPath returns the output file for one table and shard. Single-shard
+// runs write the plain table file; multi-shard runs add a part suffix
+// whose lexical order is the concatenation order.
+func partPath(dir, table, ext string, shard, shards int) string {
+	path := filepath.Join(dir, table+ext)
+	if shards > 1 {
+		path += fmt.Sprintf(".part-%03d-of-%03d", shard, shards)
+	}
+	return path
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func materializeTable(rs *summary.RelationSummary, sink Sink, opts Options) (TableReport, error) {
+	g := tuplegen.New(rs)
+	g.SetFKSpread(opts.FKSpread)
+	l := Layout{Table: rs.Table, Cols: g.ColNames(), TotalRows: g.NumRows()}
+	align, err := sink.Align(len(l.Cols))
+	if err != nil {
+		return TableReport{}, err
+	}
+	if align < 1 {
+		return TableReport{}, fmt.Errorf("sink %q alignment %d out of range", sink.Name(), align)
+	}
+	rng := shardRange(l.TotalRows, opts.Shard, opts.Shards, align)
+	tr := TableReport{Table: rs.Table, StartRow: rng.Lo, Rows: rng.Rows(), TotalRows: l.TotalRows}
+
+	var out io.Writer = io.Discard
+	var file *os.File
+	if sink.Ext() != "" {
+		tr.Path = partPath(opts.Dir, rs.Table, sink.Ext(), opts.Shard, opts.Shards)
+		if file, err = os.Create(tr.Path); err != nil {
+			return TableReport{}, err
+		}
+		out = file
+	}
+	cw := &countingWriter{w: out}
+	err = writeTable(g, sink, l, rng, align, opts, cw)
+	if file != nil {
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(tr.Path)
+		}
+	}
+	if err != nil {
+		return TableReport{}, err
+	}
+	tr.Bytes = cw.n
+	return tr, nil
+}
+
+func writeTable(g *tuplegen.Generator, sink Sink, l Layout, rng Range, align int, opts Options, w io.Writer) error {
+	if opts.Shard == 0 {
+		hdr, err := sink.Header(l)
+		if err != nil {
+			return err
+		}
+		if len(hdr) > 0 {
+			if _, err := w.Write(hdr); err != nil {
+				return err
+			}
+		}
+	}
+	if err := encodeRangeTo(g, sink, l, rng, align, opts, w); err != nil {
+		return err
+	}
+	if opts.Shard == opts.Shards-1 {
+		ftr, err := sink.Footer(l)
+		if err != nil {
+			return err
+		}
+		if len(ftr) > 0 {
+			if _, err := w.Write(ftr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// encodeRangeTo streams rng through the worker pool into w. Chunks are
+// dealt to workers in order; a dispatcher queues each chunk's result
+// channel before its job so the collector below drains results strictly
+// in chunk order regardless of which worker finishes first. The order
+// channel's capacity bounds how far encoding runs ahead of writing.
+func encodeRangeTo(g *tuplegen.Generator, sink Sink, l Layout, rng Range, align int, opts Options, w io.Writer) error {
+	if rng.Rows() == 0 {
+		return nil
+	}
+	batchRows := opts.BatchRows
+	cRows := chunkRows(batchRows, align)
+	nChunks := (rng.Rows() + cRows - 1) / cRows
+	if opts.Workers == 1 || nChunks == 1 {
+		// Sequential fast path: one reusable batch and buffer. Produces
+		// the same bytes as the pool by construction (same chunking, same
+		// stateless encoding).
+		var b *tuplegen.Batch
+		var buf []byte
+		for off := rng.Lo; off < rng.Hi; {
+			n := int64(batchRows)
+			if off+n > rng.Hi {
+				n = rng.Hi - off
+			}
+			b = g.Batch(off+1, int(n), b)
+			buf = sink.AppendBatch(buf[:0], l, b, off)
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			off += n
+		}
+		return nil
+	}
+
+	type job struct {
+		lo, hi int64
+		out    chan []byte
+	}
+	jobs := make(chan job)
+	order := make(chan chan []byte, opts.Workers*2)
+	var wg sync.WaitGroup
+	for k := 0; k < opts.Workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b *tuplegen.Batch
+			for j := range jobs {
+				// Start nil and let append size the buffer: sinks like
+				// discard emit nothing, and the others grow it once per
+				// chunk's first batches.
+				var buf []byte
+				for off := j.lo; off < j.hi; {
+					n := int64(batchRows)
+					if off+n > j.hi {
+						n = j.hi - off
+					}
+					b = g.Batch(off+1, int(n), b)
+					buf = sink.AppendBatch(buf, l, b, off)
+					off += n
+				}
+				j.out <- buf
+			}
+		}()
+	}
+	go func() {
+		for lo := rng.Lo; lo < rng.Hi; lo += cRows {
+			hi := lo + cRows
+			if hi > rng.Hi {
+				hi = rng.Hi
+			}
+			ch := make(chan []byte, 1)
+			order <- ch
+			jobs <- job{lo: lo, hi: hi, out: ch}
+		}
+		close(jobs)
+		close(order)
+	}()
+	var firstErr error
+	for ch := range order {
+		buf := <-ch
+		if firstErr != nil {
+			continue // drain so the workers can finish
+		}
+		if _, err := w.Write(buf); err != nil {
+			firstErr = err
+		}
+	}
+	wg.Wait()
+	return firstErr
+}

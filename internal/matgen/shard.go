@@ -1,0 +1,100 @@
+package matgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/dsl-repro/hydra/internal/fsx"
+)
+
+// Range is a half-open interval [Lo, Hi) of absolute 0-based row offsets;
+// row r holds primary key r+1.
+type Range struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+// Rows returns the range's cardinality.
+func (r Range) Rows() int64 { return r.Hi - r.Lo }
+
+// shardRange computes shard i of n over total rows, with interior
+// boundaries aligned down to align so every piece starts and ends on an
+// encoding boundary of the sink. The partition depends only on
+// (total, n, align) — never on which shard asks or how many workers run —
+// which is what lets K machines generate pieces that concatenate, in
+// shard order, into byte-identical whole-table output.
+func shardRange(total int64, shard, n, align int) Range {
+	lo := alignDown(total*int64(shard)/int64(n), align)
+	hi := total
+	if shard != n-1 {
+		hi = alignDown(total*int64(shard+1)/int64(n), align)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Range{Lo: lo, Hi: hi}
+}
+
+func alignDown(x int64, a int) int64 { return x - x%int64(a) }
+
+// chunkRows picks the per-chunk row count handed to one worker: the
+// configured batch size rounded up to the sink's alignment, so every
+// chunk starts on an encoding boundary.
+func chunkRows(batchRows, align int) int64 {
+	if batchRows < align {
+		return int64(align)
+	}
+	return int64((batchRows + align - 1) / align * align)
+}
+
+// Manifest is the per-shard JSON document written next to the output
+// files. It records exactly which piece of the split this invocation
+// produced — the coordination artifact for multi-machine runs: each
+// machine materializes its shard, ships the parts, and the manifests say
+// how to concatenate and verify them.
+type Manifest struct {
+	Version int           `json:"version"`
+	Format  string        `json:"format"`
+	Shard   int           `json:"shard"`
+	Shards  int           `json:"shards"`
+	Tables  []TableReport `json:"tables"`
+	Rows    int64         `json:"rows"`
+	Bytes   int64         `json:"bytes"`
+}
+
+const manifestVersion = 1
+
+// ManifestPath returns the manifest file name for one shard under dir.
+func ManifestPath(dir string, shard, shards int) string {
+	return filepath.Join(dir, fmt.Sprintf("manifest-%03d-of-%03d.json", shard, shards))
+}
+
+func writeManifest(path string, m *Manifest) error {
+	return fsx.WriteAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// ReadManifest loads a manifest written by Materialize.
+func ReadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m Manifest
+	dec := json.NewDecoder(bufio.NewReader(f))
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("matgen: %s: %w", path, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("matgen: %s: unsupported manifest version %d", path, m.Version)
+	}
+	return &m, nil
+}

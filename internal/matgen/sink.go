@@ -1,0 +1,277 @@
+package matgen
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/dsl-repro/hydra/internal/storage"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+// Layout describes one relation's output stream: the table name, the
+// column names in tuple order (pk first), and the full-relation
+// cardinality, which every shard knows up front from the summary.
+type Layout struct {
+	Table     string
+	Cols      []string
+	TotalRows int64
+}
+
+// Sink encodes column-major tuple batches into one output format's byte
+// stream. Sinks are stateless encoders rather than stateful writers: the
+// engine hands disjoint chunks of a relation to parallel workers, each
+// worker encodes its chunk into a private buffer with AppendBatch, and an
+// ordered collector concatenates the buffers. For that to be
+// byte-deterministic, the encoding of a tuple may depend only on the
+// layout, the tuple values, and the tuple's absolute row offset — never on
+// encoder state accumulated across calls.
+type Sink interface {
+	// Name is the format name used by Options.Format and the CLI -format
+	// flag.
+	Name() string
+	// Ext is the output file extension including the dot; empty means the
+	// sink produces no files (the discard sink).
+	Ext() string
+	// Align returns the row-count multiple that chunk and shard
+	// boundaries must respect so independently encoded pieces concatenate
+	// into exactly the bytes a single sequential encoder would produce
+	// (heap pages, SQL statement groups). Alignment 1 means any split
+	// works. It may reject impossible layouts (a row wider than a heap
+	// page).
+	Align(ncols int) (int, error)
+	// Header returns the file prologue, emitted once per table by shard 0.
+	Header(l Layout) ([]byte, error)
+	// AppendBatch appends the encoding of b to dst and returns it. rowOff
+	// is the absolute 0-based row offset of b's first tuple (row r holds
+	// primary key r+1); position-dependent formats derive page and
+	// statement boundaries from it.
+	AppendBatch(dst []byte, l Layout, b *tuplegen.Batch, rowOff int64) []byte
+	// Footer returns the file epilogue, emitted once per table by the
+	// last shard.
+	Footer(l Layout) ([]byte, error)
+}
+
+var (
+	sinkMu   sync.RWMutex
+	sinkReg  = map[string]Sink{}
+	sinkName []string
+)
+
+// RegisterSink makes a sink selectable by Options.Format. It panics on a
+// duplicate or empty name; the built-in formats register themselves.
+func RegisterSink(s Sink) {
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	name := s.Name()
+	if name == "" {
+		panic("matgen: sink with empty name")
+	}
+	if _, dup := sinkReg[name]; dup {
+		panic("matgen: duplicate sink " + name)
+	}
+	sinkReg[name] = s
+	sinkName = append(sinkName, name)
+	sort.Strings(sinkName)
+}
+
+// SinkNames lists the registered format names, sorted.
+func SinkNames() []string {
+	sinkMu.RLock()
+	defer sinkMu.RUnlock()
+	return append([]string(nil), sinkName...)
+}
+
+func sinkFor(name string) (Sink, error) {
+	sinkMu.RLock()
+	defer sinkMu.RUnlock()
+	s, ok := sinkReg[name]
+	if !ok {
+		return nil, fmt.Errorf("matgen: unknown format %q (have %s)", name, strings.Join(sinkName, ", "))
+	}
+	return s, nil
+}
+
+func init() {
+	RegisterSink(csvSink{})
+	RegisterSink(jsonlSink{})
+	RegisterSink(heapSink{})
+	RegisterSink(sqlSink{})
+	RegisterSink(discardSink{})
+}
+
+// --- CSV ---
+
+type csvSink struct{}
+
+func (csvSink) Name() string                  { return "csv" }
+func (csvSink) Ext() string                   { return ".csv" }
+func (csvSink) Align(int) (int, error)        { return 1, nil }
+func (csvSink) Footer(Layout) ([]byte, error) { return nil, nil }
+
+func (csvSink) Header(l Layout) ([]byte, error) {
+	return []byte(strings.Join(l.Cols, ",") + "\n"), nil
+}
+
+func (csvSink) AppendBatch(dst []byte, _ Layout, b *tuplegen.Batch, _ int64) []byte {
+	for i := 0; i < b.N; i++ {
+		for c, col := range b.Cols {
+			if c > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, col[i], 10)
+		}
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// --- JSONL ---
+
+type jsonlSink struct{}
+
+func (jsonlSink) Name() string                  { return "jsonl" }
+func (jsonlSink) Ext() string                   { return ".jsonl" }
+func (jsonlSink) Align(int) (int, error)        { return 1, nil }
+func (jsonlSink) Header(Layout) ([]byte, error) { return nil, nil }
+func (jsonlSink) Footer(Layout) ([]byte, error) { return nil, nil }
+
+func (jsonlSink) AppendBatch(dst []byte, l Layout, b *tuplegen.Batch, _ int64) []byte {
+	// Column names come from the schema and are almost always plain
+	// identifiers, but quote them through the JSON encoder anyway; the
+	// per-batch cost is negligible at thousands of rows per call.
+	keys := make([][]byte, len(l.Cols))
+	for c, name := range l.Cols {
+		q, _ := json.Marshal(name)
+		keys[c] = append(q, ':')
+	}
+	for i := 0; i < b.N; i++ {
+		dst = append(dst, '{')
+		for c, col := range b.Cols {
+			if c > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, keys[c]...)
+			dst = strconv.AppendInt(dst, col[i], 10)
+		}
+		dst = append(dst, '}', '\n')
+	}
+	return dst
+}
+
+// --- heap (internal/storage) ---
+
+// heapSink emits the paged heap-file format of internal/storage,
+// byte-identical to a sequential storage.Writer and readable by
+// storage.Open. Alignment is the page's row capacity so every chunk and
+// shard starts at a page boundary; the header page carries the exact row
+// count, which the summary provides before generation starts.
+type heapSink struct{}
+
+var zeroPage [storage.PageSize]byte
+
+func (heapSink) Name() string { return "heap" }
+func (heapSink) Ext() string  { return ".heap" }
+
+func (heapSink) Align(ncols int) (int, error) { return storage.RowsPerPage(ncols) }
+
+func (heapSink) Header(l Layout) ([]byte, error) {
+	return storage.EncodeHeaderPage(l.Table, l.Cols, l.TotalRows)
+}
+
+func (heapSink) AppendBatch(dst []byte, l Layout, b *tuplegen.Batch, rowOff int64) []byte {
+	ncols := len(b.Cols)
+	perPage := storage.PageSize / (8 * ncols)
+	pagePad := storage.PageSize - perPage*8*ncols
+	inPage := int(rowOff % int64(perPage))
+	var tmp [8]byte
+	for i := 0; i < b.N; i++ {
+		for _, col := range b.Cols {
+			binary.LittleEndian.PutUint64(tmp[:], uint64(col[i]))
+			dst = append(dst, tmp[:]...)
+		}
+		inPage++
+		if inPage == perPage {
+			dst = append(dst, zeroPage[:pagePad]...)
+			inPage = 0
+		}
+	}
+	return dst
+}
+
+func (heapSink) Footer(l Layout) ([]byte, error) {
+	ncols := len(l.Cols)
+	perPage, err := storage.RowsPerPage(ncols)
+	if err != nil {
+		return nil, err
+	}
+	rem := int(l.TotalRows % int64(perPage))
+	if rem == 0 {
+		return nil, nil
+	}
+	return zeroPage[:storage.PageSize-rem*8*ncols], nil
+}
+
+// --- SQL INSERT ---
+
+// sqlRowsPerStmt groups this many tuples per INSERT statement. Statement
+// boundaries fall on absolute row offsets, so the alignment guarantees
+// every shard and chunk begins exactly at a statement start.
+const sqlRowsPerStmt = 500
+
+type sqlSink struct{}
+
+func (sqlSink) Name() string           { return "sql" }
+func (sqlSink) Ext() string            { return ".sql" }
+func (sqlSink) Align(int) (int, error) { return sqlRowsPerStmt, nil }
+
+func (sqlSink) Header(l Layout) ([]byte, error) {
+	return []byte(fmt.Sprintf("-- hydra materialization of %s (%d rows)\nBEGIN;\n",
+		l.Table, l.TotalRows)), nil
+}
+
+func (sqlSink) AppendBatch(dst []byte, l Layout, b *tuplegen.Batch, rowOff int64) []byte {
+	prologue := []byte("INSERT INTO " + l.Table + " (" + strings.Join(l.Cols, ",") + ") VALUES\n")
+	for i := 0; i < b.N; i++ {
+		abs := rowOff + int64(i)
+		if abs%sqlRowsPerStmt == 0 {
+			dst = append(dst, prologue...)
+		}
+		dst = append(dst, '(')
+		for c, col := range b.Cols {
+			if c > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, col[i], 10)
+		}
+		if abs+1 == l.TotalRows || (abs+1)%sqlRowsPerStmt == 0 {
+			dst = append(dst, ')', ';', '\n')
+		} else {
+			dst = append(dst, ')', ',', '\n')
+		}
+	}
+	return dst
+}
+
+func (sqlSink) Footer(Layout) ([]byte, error) { return []byte("COMMIT;\n"), nil }
+
+// --- discard ---
+
+// discardSink drops every batch after generation: the throughput-
+// measurement sink, isolating the generator and worker-pool cost from
+// encoding and disk.
+type discardSink struct{}
+
+func (discardSink) Name() string                  { return "discard" }
+func (discardSink) Ext() string                   { return "" }
+func (discardSink) Align(int) (int, error)        { return 1, nil }
+func (discardSink) Header(Layout) ([]byte, error) { return nil, nil }
+func (discardSink) Footer(Layout) ([]byte, error) { return nil, nil }
+
+func (discardSink) AppendBatch(dst []byte, _ Layout, _ *tuplegen.Batch, _ int64) []byte {
+	return dst
+}

@@ -1,0 +1,44 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The heap-file layout is deliberately simple enough to produce without a
+// Writer: a header page followed by fixed-size pages of densely packed
+// rows. These helpers expose the layout constants so the parallel
+// materialization engine (internal/matgen) can encode page runs for
+// disjoint row ranges on independent workers and still produce files that
+// are byte-identical to a sequential Writer's output and readable by Open.
+
+// RowsPerPage returns how many ncols-wide rows fit in one page, or an
+// error when a single row exceeds the page size.
+func RowsPerPage(ncols int) (int, error) {
+	if ncols <= 0 {
+		return 0, fmt.Errorf("storage: relation needs at least one column")
+	}
+	per := PageSize / (8 * ncols)
+	if per == 0 {
+		return 0, fmt.Errorf("storage: row of %d columns exceeds page size", ncols)
+	}
+	return per, nil
+}
+
+// EncodeHeaderPage builds the header page for a heap file holding numRows
+// rows — byte-identical to the page Writer.Close rewrites, which is what
+// lets shard 0 of a parallel materialization emit the header up front
+// (the row count is known exactly from the summary before generation).
+func EncodeHeaderPage(name string, cols []string, numRows int64) ([]byte, error) {
+	h := header{Magic: magic, Name: name, Cols: cols, NumRows: numRows}
+	hb, err := json.Marshal(&h)
+	if err != nil {
+		return nil, err
+	}
+	if len(hb) > PageSize {
+		return nil, fmt.Errorf("storage: header too large (%d bytes)", len(hb))
+	}
+	page := make([]byte, PageSize)
+	copy(page, hb)
+	return page, nil
+}

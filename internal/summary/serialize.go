@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"github.com/dsl-repro/hydra/internal/fsx"
 )
 
 // summaryJSON is the on-disk representation. The summary is deliberately a
@@ -75,17 +77,14 @@ func Read(r io.Reader) (*Summary, error) {
 	return s, nil
 }
 
-// Save writes the summary to a file.
+// Save writes the summary to a file, crash-safely: the document lands in
+// a temp file renamed into place, so an interrupted save never leaves a
+// truncated summary behind.
 func (s *Summary) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return fsx.WriteAtomic(path, func(w io.Writer) error {
+		_, err := s.WriteTo(w)
 		return err
-	}
-	defer f.Close()
-	if _, err := s.WriteTo(f); err != nil {
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // Load reads a summary from a file.

@@ -1,0 +1,109 @@
+package tuplegen
+
+import "sort"
+
+// Batch is a column-major block of consecutive generated tuples. Columns
+// follow tuple order: pk, non-key columns, then FK columns — the same
+// layout Row produces, transposed. Column-major filling is what makes
+// batched generation cheap: within one summary row every non-key column is
+// a constant-fill and every FK column is a constant- or modular-fill, so
+// the per-tuple prefix walk and slice append of the row-at-a-time path
+// disappear entirely.
+type Batch struct {
+	// Start is the primary key of the first tuple in the block.
+	Start int64
+	// N is the number of valid tuples.
+	N int
+	// Cols holds one slice per output column, each of length N.
+	Cols [][]int64
+}
+
+// Row copies tuple i (0-based within the batch) into dst, growing it as
+// needed — a row-major convenience for consumers that emit tuple-at-a-time.
+func (b *Batch) Row(dst []int64, i int) []int64 {
+	dst = dst[:0]
+	for _, col := range b.Cols {
+		dst = append(dst, col[i])
+	}
+	return dst
+}
+
+// Batch fills b (allocating or reusing its buffers) with up to n tuples
+// starting at startPK, clamped to the relation's cardinality, and returns
+// it. Passing nil allocates a fresh batch. The prefix walk happens once per
+// summary-row span instead of once per tuple, and each column segment is
+// filled with a tight constant or arithmetic loop, which is why the
+// materialization engine reads tuples through this API rather than Row.
+//
+// Batch is safe for concurrent use by multiple goroutines as long as each
+// uses its own *Batch: the generator itself is only read.
+func (g *Generator) Batch(startPK int64, n int, b *Batch) *Batch {
+	if b == nil {
+		b = &Batch{}
+	}
+	if startPK < 1 {
+		startPK = 1
+	}
+	if last := g.NumRows(); startPK+int64(n)-1 > last {
+		n = int(last - startPK + 1)
+		if n < 0 {
+			n = 0
+		}
+	}
+	ncols := g.NumCols()
+	if len(b.Cols) != ncols {
+		b.Cols = make([][]int64, ncols)
+	}
+	for i := range b.Cols {
+		if cap(b.Cols[i]) < n {
+			b.Cols[i] = make([]int64, n)
+		}
+		b.Cols[i] = b.Cols[i][:n]
+	}
+	b.Start, b.N = startPK, n
+	if n == 0 {
+		return b
+	}
+	// Largest j with prefix[j] < startPK: the summary row holding startPK.
+	j := sort.Search(len(g.prefix), func(i int) bool { return g.prefix[i] >= startPK }) - 1
+	nvals := len(g.rs.Cols)
+	filled := 0
+	pk := startPK
+	for filled < n {
+		row := &g.rs.Rows[j]
+		m := int(g.prefix[j+1] - pk + 1) // tuples left in summary row j
+		if m > n-filled {
+			m = n - filled
+		}
+		pkSeg := b.Cols[0][filled : filled+m]
+		for i := range pkSeg {
+			pkSeg[i] = pk + int64(i)
+		}
+		for c := 0; c < nvals; c++ {
+			seg := b.Cols[1+c][filled : filled+m]
+			v := row.Vals[c]
+			for i := range seg {
+				seg[i] = v
+			}
+		}
+		spread := g.spread && len(row.FKSpans) == len(row.FKs)
+		for c, fk := range row.FKs {
+			seg := b.Cols[1+nvals+c][filled : filled+m]
+			if spread && row.FKSpans[c] > 1 {
+				span := row.FKSpans[c]
+				off := pk - g.prefix[j] - 1
+				for i := range seg {
+					seg[i] = fk + (off+int64(i))%span
+				}
+				continue
+			}
+			for i := range seg {
+				seg[i] = fk
+			}
+		}
+		filled += m
+		pk += int64(m)
+		j++
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package tuplegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+// spreadRS is a relation whose FK spans exceed 1, so the spread-FK
+// extension actually changes assignments.
+func spreadRS() *summary.RelationSummary {
+	return &summary.RelationSummary{
+		Table:  "R",
+		Cols:   []string{"A"},
+		FKCols: []string{"s_fk", "t_fk"},
+		FKRefs: []string{"S", "T"},
+		Rows: []summary.RelRow{
+			{Vals: []int64{5}, FKs: []int64{1, 11}, FKSpans: []int64{4, 1}, Count: 1000},
+			{Vals: []int64{9}, FKs: []int64{5, 12}, FKSpans: []int64{7, 3}, Count: 1},
+			{Vals: []int64{13}, FKs: []int64{12, 15}, FKSpans: []int64{1, 5}, Count: 2345},
+		},
+		Total: 3346,
+	}
+}
+
+// TestBatchMatchesRow is the core contract: for any (startPK, n) and both
+// FK-spread settings, Batch must produce exactly the tuples Row produces.
+func TestBatchMatchesRow(t *testing.T) {
+	for _, spread := range []bool{false, true} {
+		g := New(spreadRS())
+		g.SetFKSpread(spread)
+		rng := rand.New(rand.NewSource(7))
+		var b *Batch
+		var want, got []int64
+		for trial := 0; trial < 200; trial++ {
+			start := rng.Int63n(g.NumRows()) + 1
+			n := rng.Intn(900) + 1
+			b = g.Batch(start, n, b)
+			wantN := int(g.NumRows() - start + 1)
+			if wantN > n {
+				wantN = n
+			}
+			if b.N != wantN || b.Start != start {
+				t.Fatalf("spread=%v Batch(%d,%d): N=%d Start=%d, want N=%d", spread, start, n, b.N, b.Start, wantN)
+			}
+			for i := 0; i < b.N; i++ {
+				want = g.Row(start+int64(i), want)
+				got = b.Row(got, i)
+				for c := range want {
+					if got[c] != want[c] {
+						t.Fatalf("spread=%v pk %d col %d: batch %v, row %v", spread, start+int64(i), c, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSpansSummaryRows checks a batch crossing every summary-row
+// boundary at once.
+func TestBatchSpansSummaryRows(t *testing.T) {
+	g := New(sampleRS())
+	b := g.Batch(1, int(g.NumRows()), nil)
+	if int64(b.N) != g.NumRows() {
+		t.Fatalf("full batch N = %d, want %d", b.N, g.NumRows())
+	}
+	// Boundary tuples (cf. TestRowLookup).
+	checks := map[int64][4]int64{
+		150: {150, 20, 15, 1},
+		151: {151, 20, 40, 9},
+		401: {401, 61, 15, 3},
+	}
+	for pk, want := range checks {
+		i := int(pk - 1)
+		for c := 0; c < 4; c++ {
+			if b.Cols[c][i] != want[c] {
+				t.Fatalf("pk %d col %d = %d, want %d", pk, c, b.Cols[c][i], want[c])
+			}
+		}
+	}
+}
+
+func TestBatchEdgeCases(t *testing.T) {
+	g := New(sampleRS())
+	if b := g.Batch(701, 10, nil); b.N != 0 {
+		t.Fatalf("past-the-end batch N = %d, want 0", b.N)
+	}
+	if b := g.Batch(700, 10, nil); b.N != 1 || b.Cols[0][0] != 700 {
+		t.Fatalf("tail clamp failed: N=%d", b.N)
+	}
+	if b := g.Batch(1, 0, nil); b.N != 0 {
+		t.Fatalf("empty batch N = %d", b.N)
+	}
+	// Reuse must shrink and regrow cleanly.
+	b := g.Batch(1, 500, nil)
+	b = g.Batch(1, 3, b)
+	if b.N != 3 || len(b.Cols[0]) != 3 {
+		t.Fatalf("reused batch N=%d len=%d", b.N, len(b.Cols[0]))
+	}
+}
+
+// TestBatchSpreadPreservesJoinCardinalities verifies the SetFKSpread
+// contract under the Batch API: spreading changes which referenced row a
+// tuple points at, but never how many tuples point into each referenced
+// span (every row of a span carries the same attribute values, so join
+// cardinalities are untouched). Spread-on must distribute round-robin
+// within [fk, fk+span).
+func TestBatchSpreadPreservesJoinCardinalities(t *testing.T) {
+	rs := spreadRS()
+	perSpan := func(spread bool) map[int64]int64 {
+		g := New(rs)
+		g.SetFKSpread(spread)
+		counts := map[int64]int64{} // span base fk → tuples referencing the span
+		var b *Batch
+		for off := int64(0); off < g.NumRows(); off += 512 {
+			b = g.Batch(off+1, 512, b)
+			for i := 0; i < b.N; i++ {
+				pk := b.Cols[0][i]
+				j := 0
+				var cum int64
+				for ; ; j++ {
+					cum += rs.Rows[j].Count
+					if cum >= pk {
+						break
+					}
+				}
+				base, span := rs.Rows[j].FKs[0], rs.Rows[j].FKSpans[0]
+				fk := b.Cols[2][i] // s_fk: after pk and A
+				if fk < base || fk >= base+span {
+					t.Fatalf("spread=%v pk %d: fk %d outside span [%d,%d)", spread, pk, fk, base, base+span)
+				}
+				counts[base]++
+			}
+		}
+		return counts
+	}
+	off := perSpan(false)
+	on := perSpan(true)
+	if len(off) != len(on) {
+		t.Fatalf("span sets differ: %v vs %v", off, on)
+	}
+	for base, n := range off {
+		if on[base] != n {
+			t.Fatalf("span %d: %d tuples with spread off, %d with spread on", base, n, on[base])
+		}
+	}
+	// And spread-on must be a true round-robin: per referenced row the
+	// tuple count differs by at most 1 within a span.
+	g := New(rs)
+	g.SetFKSpread(true)
+	perRow := map[int64]int64{}
+	b := g.Batch(1, int(g.NumRows()), nil)
+	for i := 0; i < b.N; i++ {
+		perRow[b.Cols[2][i]]++
+	}
+	for _, row := range rs.Rows {
+		base, span := row.FKs[0], row.FKSpans[0]
+		var lo, hi int64 = 1 << 62, 0
+		for fk := base; fk < base+span; fk++ {
+			c := perRow[fk]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("span [%d,%d): per-row counts range [%d,%d], not round-robin", base, base+span, lo, hi)
+		}
+	}
+}

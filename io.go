@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
+	"github.com/dsl-repro/hydra/internal/fsx"
 	"github.com/dsl-repro/hydra/internal/schema"
 )
 
@@ -62,23 +64,15 @@ func LoadWorkload(path string) (*Workload, error) {
 	return doc.Workload, nil
 }
 
+// writeJSON writes the document crash-safely: into a temp file renamed
+// over path, so a failed save never leaves a truncated artifact where a
+// schema, workload, or summary used to be.
 func writeJSON(path string, v any) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(f)
-	enc := json.NewEncoder(bw)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		f.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsx.WriteAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
 }
 
 func readJSON(path string, v any) error {

@@ -1,0 +1,33 @@
+package hydra
+
+import (
+	"github.com/dsl-repro/hydra/internal/matgen"
+)
+
+// Materialization: the parallel sharded engine lives in internal/matgen;
+// this facade re-exports the option/report types and the entry point so
+// clients can turn a summary into big data volumes without touching
+// internal packages.
+type (
+	// MaterializeOptions tunes Materialize: output directory and format
+	// (heap, csv, jsonl, sql, discard), worker count, the shard piece to
+	// generate, table subset, and the FK-spread toggle. Output bytes are
+	// identical for every worker count, and shard pieces concatenate into
+	// byte-identical whole-table files.
+	MaterializeOptions = matgen.Options
+	// MaterializeReport aggregates what one Materialize run produced.
+	MaterializeReport = matgen.Report
+	// MaterializeSink is the pluggable encoder interface; custom sinks go
+	// in MaterializeOptions.Sink or matgen.RegisterSink.
+	MaterializeSink = matgen.Sink
+)
+
+// Materialize generates the summary's relations into the configured sink
+// using a deterministic sharded worker pool — the static regeneration
+// path at scale (§2's "materialized database", industrialized).
+func Materialize(s *Summary, opts MaterializeOptions) (*MaterializeReport, error) {
+	return matgen.Materialize(s, opts)
+}
+
+// MaterializeFormats lists the built-in and registered sink format names.
+func MaterializeFormats() []string { return matgen.SinkNames() }
