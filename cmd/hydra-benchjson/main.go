@@ -1,0 +1,112 @@
+// Command hydra-benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can archive one BENCH_ci.json
+// artifact per push and the performance trajectory accumulates in a form
+// that scripts can diff and plot.
+//
+// Usage:
+//
+//	go test -bench=Materialize -benchtime=1x -run='^$' ./... | hydra-benchjson > BENCH_ci.json
+//
+// The parser understands the standard benchmark line shape —
+//
+//	BenchmarkName/sub=case-8   	     120	  9876 ns/op	  4096 B/op	  1 allocs/op	  55.2 tuples/s
+//
+// — keeping every value/unit pair as a metric, plus the goos/goarch/pkg/
+// cpu context lines that precede each package's block.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the trailing -GOMAXPROCS suffix, as printed by the test binary.
+	Name string `json:"name"`
+	// Pkg is the import path from the preceding "pkg:" context line.
+	Pkg string `json:"pkg,omitempty"`
+	// Runs is the iteration count the harness settled on.
+	Runs int64 `json:"runs"`
+	// Metrics maps unit → value for every pair on the line (ns/op,
+	// B/op, allocs/op, and any b.ReportMetric custom units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole artifact.
+type Doc struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue // e.g. a bare "BenchmarkFoo" line before its result
+			}
+			b.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine parses "BenchmarkX-8  N  v1 u1  v2 u2 ...".
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Name, runs, and at least one value/unit pair; pairs come in twos.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/dsl-repro/hydra
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkMaterializeParallel/workers=1-8         	       1	  51003512 ns/op	   2514272 tuples/s
+BenchmarkMaterializeParallel/workers=8-8         	       1	   9214010 ns/op	  13914388 tuples/s
+BenchmarkFig14_Materialization-8                 	       1	 120000000 ns/op	    128248 tuples/op
+PASS
+ok  	github.com/dsl-repro/hydra	3.211s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Fatalf("context = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkMaterializeParallel/workers=1-8" || b.Runs != 1 {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.Pkg != "github.com/dsl-repro/hydra" {
+		t.Fatalf("pkg = %q", b.Pkg)
+	}
+	if b.Metrics["ns/op"] != 51003512 || b.Metrics["tuples/s"] != 2514272 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if doc.Benchmarks[2].Metrics["tuples/op"] != 128248 {
+		t.Fatalf("custom metric lost: %v", doc.Benchmarks[2].Metrics)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkPending\nBenchmarkOdd 1 2\nnoise\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise", len(doc.Benchmarks))
+	}
+}

@@ -7,7 +7,9 @@
 //	summarize   -schema s.json -workload w.json -out summary.json
 //	validate    -schema s.json -workload w.json -summary summary.json
 //	materialize -summary summary.json -dir out/ [-format heap|csv|jsonl|sql|discard]
-//	            [-workers K] [-shards N] [-shard i/N] [-tables a,b] [-fkspread]
+//	            [-workers K] [-shards N] [-shard i/N] [-compress gzip] [-tables a,b] [-fkspread]
+//	orchestrate -summary summary.json -dir out/ [-shards N] [-parallel P] [-compress gzip]
+//	            [-retries R] [-verify-only] ...
 //	generate    -summary summary.json -table T [-n 10] [-from 1]
 //	demo        (runs the paper's Figure 1 scenario end to end)
 //
@@ -15,9 +17,13 @@
 // output bytes are identical for any -workers count, and the -shard i/N
 // pieces of a multi-machine run concatenate (in shard order) into
 // byte-identical whole-table files, with a per-shard JSON manifest.
+// Orchestration (internal/orchestrate) schedules all N shards with
+// retries and then verifies the manifests: ranges must tile, rows must
+// sum to the summary's cardinalities, files must match their checksums.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +50,8 @@ func main() {
 		err = cmdValidate(os.Args[2:])
 	case "materialize":
 		err = cmdMaterialize(os.Args[2:])
+	case "orchestrate":
+		err = cmdOrchestrate(os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
 	case "demo":
@@ -68,7 +76,9 @@ usage:
   hydra summarize   -schema s.json -workload w.json -out summary.json
   hydra validate    -schema s.json -workload w.json -summary summary.json
   hydra materialize -summary summary.json -dir out/ [-format heap|csv|jsonl|sql|discard]
-                    [-workers K] [-shards N] [-shard i/N] [-tables a,b] [-fkspread]
+                    [-workers K] [-shards N] [-shard i/N] [-compress gzip] [-tables a,b] [-fkspread]
+  hydra orchestrate -summary summary.json -dir out/ [-format ...] [-shards N] [-parallel P]
+                    [-workers K] [-compress gzip] [-retries R] [-tables a,b] [-fkspread] [-verify-only]
   hydra generate    -summary summary.json -table T [-n 10] [-from 1]
   hydra demo
 `)
@@ -160,6 +170,7 @@ func cmdMaterialize(args []string) error {
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS); output is byte-identical for any count")
 	shards := fs.Int("shards", 1, "split each table into N concatenable pieces (all generated locally unless -shard is given)")
 	shardSpec := fs.String("shard", "", "generate only piece i/N, 1-based (e.g. -shard 2/4), for multi-machine runs")
+	compress := fs.String("compress", "", "output codec: "+strings.Join(hydra.MaterializeCompressors(), "|")+" (default none)")
 	tables := fs.String("tables", "", "comma-separated subset of relations (default all)")
 	spread := fs.Bool("fkspread", false, "spread FKs round-robin within referenced spans")
 	fs.Parse(args)
@@ -173,6 +184,7 @@ func cmdMaterialize(args []string) error {
 	opts := hydra.MaterializeOptions{
 		Dir:      *dir,
 		Format:   *format,
+		Compress: *compress,
 		Workers:  *workers,
 		Shards:   *shards,
 		FKSpread: *spread,
@@ -231,6 +243,105 @@ func cmdMaterialize(args []string) error {
 	fmt.Printf("materialized %d tuples in %v (%.0f rows/sec, format %s)\n",
 		total, elapsed.Round(time.Millisecond), rate, *format)
 	return nil
+}
+
+func cmdOrchestrate(args []string) error {
+	fs := flag.NewFlagSet("orchestrate", flag.ExitOnError)
+	sumPath := fs.String("summary", "", "summary JSON")
+	dir := fs.String("dir", "hydra_db", "output directory shared by all shards")
+	format := fs.String("format", "heap", "output format: "+strings.Join(hydra.MaterializeFormats(), "|"))
+	shards := fs.Int("shards", 1, "split each table into N verified pieces")
+	parallel := fs.Int("parallel", 0, "shards running at once (0 = min(shards, GOMAXPROCS))")
+	workers := fs.Int("workers", 0, "encode workers per shard (0 = GOMAXPROCS split across the parallel shards)")
+	compress := fs.String("compress", "", "output codec: "+strings.Join(hydra.MaterializeCompressors(), "|")+" (default none)")
+	retries := fs.Int("retries", 0, "re-runs per failed shard (0 = default 2, negative = none)")
+	tables := fs.String("tables", "", "comma-separated subset of relations (default all)")
+	spread := fs.Bool("fkspread", false, "spread FKs round-robin within referenced spans")
+	verifyOnly := fs.Bool("verify-only", false, "skip generation; verify the manifests and files already in -dir")
+	fs.Parse(args)
+	if *sumPath == "" {
+		return fmt.Errorf("orchestrate: -summary is required")
+	}
+	sum, err := summary.Load(*sumPath)
+	if err != nil {
+		return err
+	}
+	var tableSubset []string
+	if *tables != "" {
+		for _, name := range strings.Split(*tables, ",") {
+			tableSubset = append(tableSubset, strings.TrimSpace(name))
+		}
+	}
+	if *verifyOnly {
+		vopts := hydra.ShardVerifyOptions{Dir: *dir, Summary: sum, Tables: tableSubset}
+		// An explicit -shards pins the expected width; the default
+		// infers it from the manifests present.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				vopts.Shards = *shards
+			}
+		})
+		vr, err := hydra.VerifyShards(vopts)
+		if err != nil {
+			return err
+		}
+		printVerification(vr)
+		return nil
+	}
+	opts := hydra.OrchestrateOptions{
+		Dir:      *dir,
+		Format:   *format,
+		Compress: *compress,
+		Shards:   *shards,
+		Parallel: *parallel,
+		Workers:  *workers,
+		Retries:  *retries,
+		FKSpread: *spread,
+		Tables:   tableSubset,
+	}
+	res, err := hydra.Orchestrate(context.Background(), sum, opts)
+	if res != nil {
+		for _, sr := range res.Shards {
+			if sr.Report == nil {
+				fmt.Printf("  shard %d/%d FAILED after %d attempts: %v\n", sr.Shard+1, res.Plan.Shards, sr.Attempts, sr.Err)
+				continue
+			}
+			retried := ""
+			if sr.Attempts > 1 {
+				retried = fmt.Sprintf("  (attempt %d)", sr.Attempts)
+			}
+			fmt.Printf("  shard %d/%d  %12d rows %10.1f MB  %s%s\n",
+				sr.Shard+1, res.Plan.Shards, sr.Report.Rows,
+				float64(sr.Report.Bytes)/1e6, sr.Report.ManifestPath, retried)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	printVerification(res.Verification)
+	fmt.Printf("orchestrated %d tuples across %d shards (%d parallel) in %v (%.0f rows/sec, format %s%s)\n",
+		res.Rows, res.Plan.Shards, res.Plan.Parallel, res.Elapsed.Round(time.Millisecond),
+		res.RowsPerSec(), *format, codecSuffix(*compress))
+	return nil
+}
+
+func codecSuffix(codec string) string {
+	if codec == "" || codec == "none" {
+		return ""
+	}
+	return "+" + codec
+}
+
+func printVerification(vr *hydra.ShardVerifyReport) {
+	if vr == nil {
+		return
+	}
+	for _, tc := range vr.Tables {
+		fmt.Printf("  verified %-24s %12d rows %10.1f MB in %d parts\n",
+			tc.Table, tc.Rows, float64(tc.Bytes)/1e6, tc.Parts)
+	}
+	fmt.Printf("  verification OK: %d shards, %d files re-hashed (%.1f MB)\n",
+		vr.Shards, vr.FilesHashed, float64(vr.BytesHashed)/1e6)
 }
 
 func cmdGenerate(args []string) error {

@@ -6,15 +6,26 @@ package fsx
 
 import (
 	"bufio"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
+// syncFile is the durability barrier between writing the temp file and
+// renaming it into place: without it a crash shortly after the rename
+// can leave the new name pointing at an empty file on journaled
+// filesystems. A variable so tests can observe that the barrier runs,
+// and runs before the rename.
+var syncFile = func(f *os.File) error { return f.Sync() }
+
 // WriteAtomic writes a file by streaming into a temp file in the target
-// directory and renaming it into place. Readers therefore observe either
-// the old content or the complete new content, never a partial write. On
-// any error the temp file is removed and the original path is untouched.
+// directory, fsyncing it, and renaming it into place, then fsyncing the
+// directory so the new name itself survives a crash. Readers therefore
+// observe either the old content or the complete new content, never a
+// partial or empty write. On any error the temp file is removed and the
+// original path is untouched.
 func WriteAtomic(path string, write func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
@@ -33,7 +44,7 @@ func WriteAtomic(path string, write func(w io.Writer) error) error {
 		err = bw.Flush()
 	}
 	if err == nil {
-		err = f.Sync()
+		err = syncFile(f)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -45,5 +56,23 @@ func WriteAtomic(path string, write func(w io.Writer) error) error {
 		os.Remove(tmp)
 		return err
 	}
-	return nil
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// filesystems reject fsync on directories; the rename is still atomic
+// there, so those errors are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.EBADF)) {
+		return nil
+	}
+	return err
 }

@@ -27,6 +27,77 @@ func TestWriteAtomicReplaces(t *testing.T) {
 	}
 }
 
+// TestWriteAtomicSyncsBeforeRename pins the durability ordering: the
+// temp file must be fsynced while it still has its temp name — i.e.
+// before the rename publishes it — so a crash right after the rename
+// cannot expose an empty or partial manifest under the final name.
+func TestWriteAtomicSyncsBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	orig := syncFile
+	defer func() { syncFile = orig }()
+	synced := 0
+	syncFile = func(f *os.File) error {
+		synced++
+		if f.Name() == path {
+			t.Fatalf("sync ran on the final path %s; must run on the temp file before rename", f.Name())
+		}
+		if filepath.Dir(f.Name()) != dir {
+			t.Fatalf("sync ran on %s, outside the target directory", f.Name())
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("final path already exists at sync time: rename happened before fsync")
+		}
+		return f.Sync()
+	}
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "durable")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if synced != 1 {
+		t.Fatalf("sync path exercised %d times, want 1", synced)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("content = %q, %v", got, err)
+	}
+}
+
+// TestWriteAtomicSyncFailureAborts: a failed fsync must abort the write,
+// leave the original intact, and remove the temp file — an unsynced
+// manifest must never be renamed into place.
+func TestWriteAtomicSyncFailureAborts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(path, []byte("intact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orig := syncFile
+	defer func() { syncFile = orig }()
+	boom := errors.New("disk on fire")
+	syncFile = func(*os.File) error { return boom }
+	err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "lost")
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sync failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "intact" {
+		t.Fatalf("original clobbered: %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp debris left behind: %v", entries)
+	}
+}
+
 // TestWriteAtomicFailureKeepsOriginal is the crash-safety contract: a
 // failed write must leave the previous file intact and no temp debris.
 func TestWriteAtomicFailureKeepsOriginal(t *testing.T) {

@@ -1,0 +1,156 @@
+package matgen
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Compressor wraps a sink's byte stream in a compression codec without
+// giving up matgen's determinism contract. The engine compresses each
+// collector write — one frame per chunk, plus one for the header and one
+// for the footer — into an independent, self-terminating member of the
+// codec's stream format. Because chunk boundaries depend only on
+// (BatchRows, sink alignment, shard range) and never on the worker count,
+// the framed output is byte-identical for any -workers value, and
+// concatenating compressed shard parts in shard order yields a valid
+// multi-member stream whose decompression is the whole-table file.
+type Compressor interface {
+	// Name is the codec name used by Options.Compress and the CLI
+	// -compress flag.
+	Name() string
+	// Ext is the file suffix appended after the sink extension and part
+	// suffix, e.g. ".gz".
+	Ext() string
+	// AppendFrame appends one compressed frame containing exactly src to
+	// dst and returns it. Frames must be self-terminating: a decoder of
+	// the concatenated frames recovers the concatenated sources.
+	AppendFrame(dst, src []byte) ([]byte, error)
+	// NewReader decompresses a stream of concatenated frames.
+	NewReader(r io.Reader) (io.ReadCloser, error)
+}
+
+var (
+	compMu   sync.RWMutex
+	compReg  = map[string]Compressor{}
+	compName []string
+)
+
+// RegisterCompressor makes a codec selectable by Options.Compress. It
+// panics on a duplicate or empty name. gzip is built in; a zstd
+// implementation (external dependency) plugs in through the same
+// interface.
+func RegisterCompressor(c Compressor) {
+	compMu.Lock()
+	defer compMu.Unlock()
+	name := c.Name()
+	if name == "" {
+		panic("matgen: compressor with empty name")
+	}
+	if _, dup := compReg[name]; dup {
+		panic("matgen: duplicate compressor " + name)
+	}
+	compReg[name] = c
+	compName = append(compName, name)
+	sort.Strings(compName)
+}
+
+// CompressorNames lists the registered codec names, sorted.
+func CompressorNames() []string {
+	compMu.RLock()
+	defer compMu.RUnlock()
+	return append([]string(nil), compName...)
+}
+
+// CompressorFor resolves a codec by name; "" and "none" mean no
+// compression (nil, nil).
+func CompressorFor(name string) (Compressor, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	compMu.RLock()
+	defer compMu.RUnlock()
+	c, ok := compReg[name]
+	if !ok {
+		return nil, fmt.Errorf("matgen: unknown compression %q (have %s; others via RegisterCompressor)",
+			name, strings.Join(compName, ", "))
+	}
+	return c, nil
+}
+
+func init() {
+	RegisterCompressor(gzipCompressor{})
+}
+
+// --- gzip ---
+
+// gzipCompressor frames chunks as independent gzip members. Go's gzip
+// writer emits a fixed header (zero mtime, no name) so the frame bytes
+// are a pure function of the source bytes, keeping compressed output
+// deterministic across runs and worker counts.
+type gzipCompressor struct{}
+
+// appendSliceWriter adapts append-to-slice to io.Writer so a pooled gzip
+// writer can emit straight into the caller's buffer.
+type appendSliceWriter struct{ b []byte }
+
+func (a *appendSliceWriter) Write(p []byte) (int, error) {
+	a.b = append(a.b, p...)
+	return len(p), nil
+}
+
+var gzipPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+func (gzipCompressor) Name() string { return "gzip" }
+func (gzipCompressor) Ext() string  { return ".gz" }
+
+func (gzipCompressor) AppendFrame(dst, src []byte) ([]byte, error) {
+	aw := &appendSliceWriter{b: dst}
+	zw := gzipPool.Get().(*gzip.Writer)
+	defer gzipPool.Put(zw)
+	zw.Reset(aw)
+	if _, err := zw.Write(src); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return aw.b, nil
+}
+
+func (gzipCompressor) NewReader(r io.Reader) (io.ReadCloser, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return zr, nil // multistream mode reads concatenated members
+}
+
+// frameWriter turns each Write call into one compressed frame on the
+// underlying writer. The engine guarantees deterministic Write-call
+// boundaries (header, per-chunk, footer), which makes the framed stream
+// deterministic too.
+type frameWriter struct {
+	w    io.Writer
+	comp Compressor
+	buf  []byte
+}
+
+func (f *frameWriter) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	var err error
+	if f.buf, err = f.comp.AppendFrame(f.buf[:0], p); err != nil {
+		return 0, err
+	}
+	if _, err := f.w.Write(f.buf); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}

@@ -22,7 +22,10 @@
 package matgen
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 	"os"
 	"path/filepath"
@@ -50,6 +53,12 @@ type Options struct {
 	Format string
 	// Sink plugs in a custom encoder, overriding Format.
 	Sink Sink
+	// Compress names an output codec ("gzip"; "" or "none" disables).
+	// Each deterministic chunk is framed as an independent compressed
+	// member, so compressed output stays byte-identical for any worker
+	// count and compressed shard parts concatenate into a valid stream
+	// that decompresses to the whole-table file.
+	Compress string
 	// Workers is the parallel encode worker count; 0 means GOMAXPROCS.
 	// Output bytes are identical for every worker count.
 	Workers int
@@ -80,21 +89,30 @@ type TableReport struct {
 	// the shard covers rows [StartRow, StartRow+Rows).
 	StartRow int64 `json:"start_row"`
 	Rows     int64 `json:"rows"`
-	Bytes    int64 `json:"bytes"`
+	// Bytes is the size of the file as written (post-compression).
+	Bytes int64 `json:"bytes"`
+	// RawBytes is the encoded size before compression; equal to Bytes
+	// for uncompressed output and omitted then.
+	RawBytes int64 `json:"raw_bytes,omitempty"`
+	// Checksum is the hex SHA-256 of the file as written; verifiers
+	// re-hash the file and compare without decompressing.
+	Checksum string `json:"checksum,omitempty"`
 	// TotalRows is the full-relation cardinality across all shards.
 	TotalRows int64 `json:"total_rows"`
 }
 
 // Report aggregates one Materialize invocation.
 type Report struct {
-	Format  string
-	Shard   int
-	Shards  int
-	Workers int
-	Tables  []TableReport
-	Rows    int64
-	Bytes   int64
-	Elapsed time.Duration
+	Format string
+	// Compression is the output codec name, empty when uncompressed.
+	Compression string
+	Shard       int
+	Shards      int
+	Workers     int
+	Tables      []TableReport
+	Rows        int64
+	Bytes       int64
+	Elapsed     time.Duration
 	// ManifestPath is where the shard manifest was written, if it was.
 	ManifestPath string
 }
@@ -139,6 +157,10 @@ func Materialize(sum *summary.Summary, opts Options) (*Report, error) {
 			return nil, err
 		}
 	}
+	comp, err := CompressorFor(opts.Compress)
+	if err != nil {
+		return nil, err
+	}
 	tables, err := resolveTables(sum, opts.Tables)
 	if err != nil {
 		return nil, err
@@ -151,11 +173,16 @@ func Materialize(sum *summary.Summary, opts Options) (*Report, error) {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, err
 		}
+	} else if comp != nil {
+		return nil, fmt.Errorf("matgen: format %q produces no files to compress", sink.Name())
 	}
 	rep := &Report{Format: sink.Name(), Shard: opts.Shard, Shards: opts.Shards, Workers: opts.Workers}
+	if comp != nil {
+		rep.Compression = comp.Name()
+	}
 	start := time.Now()
 	for _, name := range tables {
-		tr, err := materializeTable(sum.Relations[name], sink, opts)
+		tr, err := materializeTable(sum.Relations[name], sink, comp, opts)
 		if err != nil {
 			return nil, fmt.Errorf("matgen: %s: %w", name, err)
 		}
@@ -166,7 +193,7 @@ func Materialize(sum *summary.Summary, opts Options) (*Report, error) {
 	rep.Elapsed = time.Since(start)
 	if needFiles && !opts.NoManifest {
 		m := &Manifest{
-			Version: manifestVersion, Format: rep.Format,
+			Version: manifestVersion, Format: rep.Format, Compression: rep.Compression,
 			Shard: rep.Shard, Shards: rep.Shards,
 			Tables: rep.Tables, Rows: rep.Rows, Bytes: rep.Bytes,
 		}
@@ -225,7 +252,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func materializeTable(rs *summary.RelationSummary, sink Sink, opts Options) (TableReport, error) {
+func materializeTable(rs *summary.RelationSummary, sink Sink, comp Compressor, opts Options) (TableReport, error) {
 	g := tuplegen.New(rs)
 	g.SetFKSpread(opts.FKSpread)
 	l := Layout{Table: rs.Table, Cols: g.ColNames(), TotalRows: g.NumRows()}
@@ -239,17 +266,33 @@ func materializeTable(rs *summary.RelationSummary, sink Sink, opts Options) (Tab
 	rng := shardRange(l.TotalRows, opts.Shard, opts.Shards, align)
 	tr := TableReport{Table: rs.Table, StartRow: rng.Lo, Rows: rng.Rows(), TotalRows: l.TotalRows}
 
+	// Writer stack, bottom up: file ← size counter ← checksum tee ←
+	// [compressor framing] ← raw counter ← sink encoding. Bytes and
+	// Checksum describe the file as written; RawBytes the encoding
+	// before compression.
 	var out io.Writer = io.Discard
 	var file *os.File
+	var hash hash.Hash
 	if sink.Ext() != "" {
-		tr.Path = partPath(opts.Dir, rs.Table, sink.Ext(), opts.Shard, opts.Shards)
+		ext := sink.Ext()
+		compExt := ""
+		if comp != nil {
+			compExt = comp.Ext()
+		}
+		tr.Path = partPath(opts.Dir, rs.Table, ext, opts.Shard, opts.Shards) + compExt
 		if file, err = os.Create(tr.Path); err != nil {
 			return TableReport{}, err
 		}
-		out = file
+		hash = sha256.New()
+		out = io.MultiWriter(file, hash)
 	}
-	cw := &countingWriter{w: out}
-	err = writeTable(g, sink, l, rng, align, opts, cw)
+	fileCount := &countingWriter{w: out}
+	var enc io.Writer = fileCount
+	if comp != nil {
+		enc = &frameWriter{w: fileCount, comp: comp}
+	}
+	raw := &countingWriter{w: enc}
+	err = writeTable(g, sink, l, rng, align, opts, raw)
 	if file != nil {
 		if cerr := file.Close(); err == nil {
 			err = cerr
@@ -261,7 +304,13 @@ func materializeTable(rs *summary.RelationSummary, sink Sink, opts Options) (Tab
 	if err != nil {
 		return TableReport{}, err
 	}
-	tr.Bytes = cw.n
+	tr.Bytes = fileCount.n
+	if comp != nil {
+		tr.RawBytes = raw.n
+	}
+	if hash != nil {
+		tr.Checksum = hex.EncodeToString(hash.Sum(nil))
+	}
 	return tr, nil
 }
 
@@ -309,20 +358,29 @@ func encodeRangeTo(g *tuplegen.Generator, sink Sink, l Layout, rng Range, align 
 	if opts.Workers == 1 || nChunks == 1 {
 		// Sequential fast path: one reusable batch and buffer. Produces
 		// the same bytes as the pool by construction (same chunking, same
-		// stateless encoding).
+		// stateless encoding), and issues one Write per chunk so that
+		// downstream framing (compression) sees identical boundaries at
+		// every worker count.
 		var b *tuplegen.Batch
 		var buf []byte
-		for off := rng.Lo; off < rng.Hi; {
-			n := int64(batchRows)
-			if off+n > rng.Hi {
-				n = rng.Hi - off
+		for lo := rng.Lo; lo < rng.Hi; lo += cRows {
+			hi := lo + cRows
+			if hi > rng.Hi {
+				hi = rng.Hi
 			}
-			b = g.Batch(off+1, int(n), b)
-			buf = sink.AppendBatch(buf[:0], l, b, off)
+			buf = buf[:0]
+			for off := lo; off < hi; {
+				n := int64(batchRows)
+				if off+n > hi {
+					n = hi - off
+				}
+				b = g.Batch(off+1, int(n), b)
+				buf = sink.AppendBatch(buf, l, b, off)
+				off += n
+			}
 			if _, err := w.Write(buf); err != nil {
 				return err
 			}
-			off += n
 		}
 		return nil
 	}

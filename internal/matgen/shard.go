@@ -57,13 +57,17 @@ func chunkRows(batchRows, align int) int64 {
 // machine materializes its shard, ships the parts, and the manifests say
 // how to concatenate and verify them.
 type Manifest struct {
-	Version int           `json:"version"`
-	Format  string        `json:"format"`
-	Shard   int           `json:"shard"`
-	Shards  int           `json:"shards"`
-	Tables  []TableReport `json:"tables"`
-	Rows    int64         `json:"rows"`
-	Bytes   int64         `json:"bytes"`
+	Version int    `json:"version"`
+	Format  string `json:"format"`
+	// Compression is the output codec recorded at generation time; a
+	// verifier needs it to decompress parts, but checksums are over the
+	// file bytes as written so verification itself needs no decoder.
+	Compression string        `json:"compression,omitempty"`
+	Shard       int           `json:"shard"`
+	Shards      int           `json:"shards"`
+	Tables      []TableReport `json:"tables"`
+	Rows        int64         `json:"rows"`
+	Bytes       int64         `json:"bytes"`
 }
 
 const manifestVersion = 1

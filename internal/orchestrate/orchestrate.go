@@ -1,0 +1,264 @@
+// Package orchestrate schedules a multi-shard materialization job and
+// verifies its output. Where internal/matgen generates one -shard i/N
+// piece per invocation, the orchestrator plans all N pieces, runs them
+// across a worker set (an in-process pool today; the Runner interface is
+// the seam where remote executors slot in), retries failed shards, then
+// collects the per-shard JSON manifests and proves the result is whole:
+// row counts sum to the summary's cardinalities, shard row ranges tile
+// with no gaps or overlaps, and each output file re-hashes to the
+// checksum its manifest recorded.
+//
+// The verification side is deliberately independent of the generation
+// side: Verify needs only a directory of part files and manifests, so a
+// multi-machine run can ship every machine's artifacts to one place and
+// prove the assembly there before loading it anywhere.
+package orchestrate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+// Options tunes one orchestrated job.
+type Options struct {
+	// Dir is the output directory shared by every shard.
+	Dir string
+	// Format names the matgen sink ("heap", "csv", "jsonl", "sql").
+	// Sinks that produce no files cannot be orchestrated: there would be
+	// nothing to verify.
+	Format string
+	// Compress names the output codec ("gzip"; "" disables).
+	Compress string
+	// Shards is the number of pieces to split each table into; 0 means 1.
+	Shards int
+	// Parallel bounds how many shards run at once; 0 means
+	// min(Shards, GOMAXPROCS).
+	Parallel int
+	// Workers is the per-shard encode worker count; 0 divides GOMAXPROCS
+	// evenly among the parallel shard slots (at least 1 each).
+	Workers int
+	// Tables restricts the job to a subset of relations (all when nil).
+	Tables []string
+	// BatchRows overrides matgen's batch granularity.
+	BatchRows int
+	// FKSpread enables tuplegen's spread-FK extension.
+	FKSpread bool
+	// Retries is how many times a failed shard is re-run before the job
+	// gives up; negative means no retries. Zero means DefaultRetries.
+	Retries int
+	// Runner executes shard jobs; nil means the in-process LocalRunner.
+	Runner Runner
+	// SkipVerify suppresses the post-run manifest verification.
+	SkipVerify bool
+}
+
+// DefaultRetries is how often a failed shard is re-run when
+// Options.Retries is zero.
+const DefaultRetries = 2
+
+// ShardJob is one schedulable piece of the plan: a fully resolved
+// matgen invocation for shard Shard of Plan.Shards.
+type ShardJob struct {
+	Shard int
+	Opts  matgen.Options
+}
+
+// Plan is the resolved job: one ShardJob per shard, all writing into the
+// same directory with the same sink, codec, and table subset.
+type Plan struct {
+	Shards   int
+	Parallel int
+	Retries  int
+	Jobs     []ShardJob
+}
+
+// Runner executes one shard job. Implementations must be safe for
+// concurrent use; the orchestrator invokes Run from Parallel goroutines.
+// LocalRunner materializes in-process; a remote executor would ship the
+// job spec to another machine and wait for its manifest.
+type Runner interface {
+	Run(ctx context.Context, sum *summary.Summary, job ShardJob) (*matgen.Report, error)
+}
+
+// LocalRunner runs shard jobs in-process on the matgen engine.
+type LocalRunner struct{}
+
+// Run implements Runner.
+func (LocalRunner) Run(ctx context.Context, sum *summary.Summary, job ShardJob) (*matgen.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return matgen.Materialize(sum, job.Opts)
+}
+
+// ShardResult records one shard's outcome.
+type ShardResult struct {
+	Shard int
+	// Attempts is how many runs it took (1 = first try succeeded).
+	Attempts int
+	// Report is the successful run's report, nil when the shard failed.
+	Report *matgen.Report
+	// Err is the last attempt's error when the shard ultimately failed.
+	Err error
+}
+
+// Result aggregates one orchestrated job.
+type Result struct {
+	Plan   *Plan
+	Shards []ShardResult
+	// Verification is the post-run manifest check, nil when skipped.
+	Verification *VerifyReport
+	Rows         int64
+	Bytes        int64
+	Elapsed      time.Duration
+}
+
+// RowsPerSec returns the whole-job generation throughput.
+func (r *Result) RowsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Rows) / r.Elapsed.Seconds()
+}
+
+// NewPlan resolves Options into a concrete shard plan without running it.
+func NewPlan(opts Options) (*Plan, error) {
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("orchestrate: shards %d out of range", opts.Shards)
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("orchestrate: Dir is required")
+	}
+	format := opts.Format
+	if format == "" {
+		format = "heap"
+	}
+	if format == "discard" {
+		return nil, errors.New("orchestrate: discard sink leaves nothing to verify; use matgen directly")
+	}
+	parallel := opts.Parallel
+	if parallel == 0 {
+		parallel = opts.Shards
+		if p := runtime.GOMAXPROCS(0); parallel > p {
+			parallel = p
+		}
+	}
+	if parallel < 1 {
+		return nil, fmt.Errorf("orchestrate: parallel %d out of range", opts.Parallel)
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0) / parallel
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	retries := opts.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	p := &Plan{Shards: opts.Shards, Parallel: parallel, Retries: retries}
+	for i := 0; i < opts.Shards; i++ {
+		p.Jobs = append(p.Jobs, ShardJob{Shard: i, Opts: matgen.Options{
+			Dir:       opts.Dir,
+			Format:    format,
+			Compress:  opts.Compress,
+			Workers:   workers,
+			Shards:    opts.Shards,
+			Shard:     i,
+			Tables:    opts.Tables,
+			BatchRows: opts.BatchRows,
+			FKSpread:  opts.FKSpread,
+		}})
+	}
+	return p, nil
+}
+
+// Run plans and executes the job, then verifies the assembled output
+// against the summary. The returned Result carries per-shard outcomes
+// even when the job fails; the error is the first shard failure or
+// verification failure.
+func Run(ctx context.Context, sum *summary.Summary, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	plan, err := NewPlan(opts)
+	if err != nil {
+		return nil, err
+	}
+	runner := opts.Runner
+	if runner == nil {
+		runner = LocalRunner{}
+	}
+	start := time.Now()
+	res := &Result{Plan: plan, Shards: make([]ShardResult, len(plan.Jobs))}
+
+	sem := make(chan struct{}, plan.Parallel)
+	var wg sync.WaitGroup
+	for i, job := range plan.Jobs {
+		wg.Add(1)
+		go func(i int, job ShardJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res.Shards[i] = runShard(ctx, runner, sum, job, plan.Retries)
+		}(i, job)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	var firstErr error
+	for _, sr := range res.Shards {
+		if sr.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("orchestrate: shard %d/%d failed after %d attempts: %w",
+					sr.Shard+1, plan.Shards, sr.Attempts, sr.Err)
+			}
+			continue
+		}
+		res.Rows += sr.Report.Rows
+		res.Bytes += sr.Report.Bytes
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if !opts.SkipVerify {
+		vr, err := Verify(VerifyOptions{Dir: opts.Dir, Shards: plan.Shards, Summary: sum, Tables: opts.Tables})
+		res.Verification = vr
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// runShard runs one job with retries. Re-running is safe: matgen
+// truncates its output files on open, and the manifest write is atomic.
+func runShard(ctx context.Context, runner Runner, sum *summary.Summary, job ShardJob, retries int) ShardResult {
+	sr := ShardResult{Shard: job.Shard}
+	for attempt := 0; attempt <= retries; attempt++ {
+		sr.Attempts = attempt + 1
+		rep, err := runner.Run(ctx, sum, job)
+		if err == nil {
+			sr.Report, sr.Err = rep, nil
+			return sr
+		}
+		sr.Err = err
+		if ctx.Err() != nil {
+			return sr // cancelled; retrying cannot help
+		}
+	}
+	return sr
+}

@@ -31,3 +31,7 @@ func Materialize(s *Summary, opts MaterializeOptions) (*MaterializeReport, error
 
 // MaterializeFormats lists the built-in and registered sink format names.
 func MaterializeFormats() []string { return matgen.SinkNames() }
+
+// MaterializeCompressors lists the registered output codec names (gzip
+// built in; others via matgen.RegisterCompressor).
+func MaterializeCompressors() []string { return matgen.CompressorNames() }

@@ -2,6 +2,7 @@ package hydra_test
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,5 +76,44 @@ func TestMaterializeFacade(t *testing.T) {
 
 	if got := hydra.MaterializeFormats(); len(got) < 5 {
 		t.Fatalf("MaterializeFormats = %v", got)
+	}
+	if got := hydra.MaterializeCompressors(); len(got) < 1 {
+		t.Fatalf("MaterializeCompressors = %v", got)
+	}
+}
+
+// TestOrchestrateFacade runs the cluster-shaped path at the public API
+// level: a sharded compressed job whose manifests must verify, plus a
+// standalone re-verification of the same directory.
+func TestOrchestrateFacade(t *testing.T) {
+	s := figure1Schema(t)
+	w := figure1Workload()
+	res, err := hydra.Regenerate(s, w, hydra.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, rs := range res.Summary.Relations {
+		total += rs.Total
+	}
+	dir := t.TempDir()
+	out, err := hydra.Orchestrate(context.Background(), res.Summary, hydra.OrchestrateOptions{
+		Dir: dir, Format: "csv", Compress: "gzip", Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != total {
+		t.Fatalf("orchestrated %d rows, want %d", out.Rows, total)
+	}
+	if out.Verification == nil || out.Verification.Compression != "gzip" {
+		t.Fatalf("verification = %+v", out.Verification)
+	}
+	vr, err := hydra.VerifyShards(hydra.ShardVerifyOptions{Dir: dir, Summary: res.Summary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Shards != 3 || len(vr.Tables) != len(res.Summary.Relations) {
+		t.Fatalf("re-verification = %+v", vr)
 	}
 }
