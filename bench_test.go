@@ -214,10 +214,15 @@ func BenchmarkFig14_Materialization(b *testing.B) {
 	}
 }
 
-// BenchmarkMaterializeParallel measures generation throughput scaling of
-// the matgen worker pool against the discard sink (pure generation plus
-// pool overhead, no encoding or disk), at 1, 2, 4 and 8 workers. The
-// output is byte-identical at every worker count; only wall time moves.
+// BenchmarkMaterializeParallel measures end-to-end throughput scaling of
+// the matgen worker pool at 1, 2, 4 and 8 workers, across three sink
+// configurations: discard (pure generation plus pool overhead, no
+// encoding or disk), csv (run-aware text encoding plus disk), and gzip
+// (csv encoding plus worker-side per-chunk compression). The output is
+// byte-identical at every worker count; only wall time moves. Metrics:
+// tuples/s is generated-row throughput, MB/s is encoded (pre-compression)
+// byte throughput, and -benchmem's allocs/op tracks the steady-state
+// allocation cost of the whole pipeline.
 func BenchmarkMaterializeParallel(b *testing.B) {
 	e := getEnv(b)
 	res, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{})
@@ -228,21 +233,46 @@ func BenchmarkMaterializeParallel(b *testing.B) {
 	for _, rs := range res.Summary.Relations {
 		rows += rs.Total
 	}
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				rep, err := hydra.Materialize(res.Summary, hydra.MaterializeOptions{
-					Format: "discard", Workers: workers,
-				})
-				if err != nil {
-					b.Fatal(err)
+	cases := []struct{ name, format, compress string }{
+		{"discard", "discard", ""},
+		{"csv", "csv", ""},
+		{"gzip", "csv", "gzip"},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+				opts := hydra.MaterializeOptions{
+					Format: tc.format, Compress: tc.compress,
+					Workers: workers, NoManifest: true,
 				}
-				if rep.Rows != rows {
-					b.Fatalf("rows = %d, want %d", rep.Rows, rows)
+				if tc.format != "discard" {
+					opts.Dir = b.TempDir()
 				}
-			}
-			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
-		})
+				b.ReportAllocs()
+				var encoded int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := hydra.Materialize(res.Summary, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Rows != rows {
+						b.Fatalf("rows = %d, want %d", rep.Rows, rows)
+					}
+					for _, tr := range rep.Tables {
+						if tr.RawBytes > 0 {
+							encoded += tr.RawBytes
+						} else {
+							encoded += tr.Bytes
+						}
+					}
+				}
+				b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+				if encoded > 0 {
+					b.ReportMetric(float64(encoded)/1e6/b.Elapsed().Seconds(), "MB/s")
+				}
+			})
+		}
 	}
 }
 

@@ -1,26 +1,40 @@
 // Command hydra-benchjson converts `go test -bench` text output into a
 // machine-readable JSON document, so CI can archive one BENCH_ci.json
 // artifact per push and the performance trajectory accumulates in a form
-// that scripts can diff and plot.
+// that scripts can diff and plot. With -baseline it additionally diffs
+// the run against a committed BENCH_*.json and fails on throughput
+// regressions — the CI trend gate.
 //
 // Usage:
 //
 //	go test -bench=Materialize -benchtime=1x -run='^$' ./... | hydra-benchjson > BENCH_ci.json
+//	... | hydra-benchjson -baseline BENCH_baseline.json -benches '/(csv|gzip)/' > BENCH_ci.json
 //
 // The parser understands the standard benchmark line shape —
 //
 //	BenchmarkName/sub=case-8   	     120	  9876 ns/op	  4096 B/op	  1 allocs/op	  55.2 tuples/s
 //
-// — keeping every value/unit pair as a metric, plus the goos/goarch/pkg/
-// cpu context lines that precede each package's block.
+// — keeping every value/unit pair as a metric (ns/op, B/op, allocs/op,
+// and custom b.ReportMetric units like tuples/s and MB/s), plus the
+// goos/goarch/pkg/cpu context lines that precede each package's block.
+//
+// The trend diff compares one higher-is-better metric (default tuples/s)
+// for every benchmark present in both documents, optionally restricted
+// by the -benches regexp, and exits non-zero when any drops more than
+// -max-regress below the baseline. Absolute numbers are machine-bound,
+// so keep the comparison to benchmarks with comfortable headroom (or
+// regenerate the baseline on the machine class CI runs on).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,6 +62,11 @@ type Doc struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "BENCH_*.json to diff the parsed run against")
+	metric := flag.String("metric", "tuples/s", "higher-is-better metric compared against the baseline")
+	maxRegress := flag.Float64("max-regress", 0.25, "fail when the metric drops more than this fraction below baseline")
+	benches := flag.String("benches", "", "regexp restricting which benchmarks the baseline diff covers (default all)")
+	flag.Parse()
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hydra-benchjson:", err)
@@ -59,6 +78,128 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hydra-benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline == "" {
+		return
+	}
+	base, err := loadDoc(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydra-benchjson:", err)
+		os.Exit(1)
+	}
+	var filter *regexp.Regexp
+	if *benches != "" {
+		if filter, err = regexp.Compile(*benches); err != nil {
+			fmt.Fprintln(os.Stderr, "hydra-benchjson: -benches:", err)
+			os.Exit(1)
+		}
+	}
+	lines, failed := diff(base, doc, *metric, *maxRegress, filter)
+	for _, line := range lines {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if len(lines) == 0 {
+		// A gate that compares nothing passes forever: renamed
+		// benchmarks or a drifted -benches regexp must fail loudly, not
+		// silently disable the regression check.
+		fmt.Fprintf(os.Stderr, "hydra-benchjson: no benchmarks matched between the run and %s (metric %q, benches %q); the trend gate compared nothing\n",
+			*baseline, *metric, *benches)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "hydra-benchjson: %s regressed more than %.0f%% below %s\n",
+			*metric, *maxRegress*100, *baseline)
+		os.Exit(1)
+	}
+}
+
+func loadDoc(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// diff compares one higher-is-better metric for every benchmark present
+// in both documents (optionally restricted by filter), returning the
+// human-readable delta report and whether any benchmark fell more than
+// maxRegress below its baseline value. Benchmark names are normalized by
+// stripping the trailing -GOMAXPROCS suffix so runs from machines with
+// different core counts still line up.
+func diff(base, cur *Doc, metric string, maxRegress float64, filter *regexp.Regexp) ([]string, bool) {
+	baseVals := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if v, ok := b.Metrics[metric]; ok && v > 0 {
+			baseVals[trimProcs(b.Name)] = v
+		}
+	}
+	var lines []string
+	failed := false
+	seen := map[string]bool{}
+	var names []string
+	curVals := map[string]float64{}
+	for _, b := range cur.Benchmarks {
+		name := trimProcs(b.Name)
+		v, ok := b.Metrics[metric]
+		if !ok || seen[name] {
+			continue
+		}
+		seen[name] = true
+		names = append(names, name)
+		curVals[name] = v
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		old, ok := baseVals[name]
+		if !ok || (filter != nil && !filter.MatchString(name)) {
+			continue
+		}
+		v := curVals[name]
+		delta := v/old - 1
+		status := "ok"
+		if delta < -maxRegress {
+			status = "REGRESSION"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%-60s %14.0f -> %14.0f %s  %+6.1f%%  %s",
+			name, old, v, metric, delta*100, status))
+	}
+	// A gated baseline benchmark that vanished from the run (renamed,
+	// skipped, filtered out by -bench) would otherwise weaken the gate
+	// silently: report it and fail.
+	var missing []string
+	for name := range baseVals {
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
+		if _, ok := curVals[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		failed = true
+		lines = append(lines, fmt.Sprintf("%-60s %14.0f -> %14s %s  %7s  MISSING from run",
+			name, baseVals[name], "-", metric, ""))
+	}
+	return lines, failed
+}
+
+// trimProcs drops the trailing -N GOMAXPROCS suffix from a benchmark
+// name.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 func parse(r io.Reader) (*Doc, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -49,5 +50,98 @@ func TestParseSkipsNonResultLines(t *testing.T) {
 	}
 	if len(doc.Benchmarks) != 0 {
 		t.Fatalf("parsed %d benchmarks from noise", len(doc.Benchmarks))
+	}
+}
+
+func bench(name string, tuples float64) Benchmark {
+	return Benchmark{Name: name, Runs: 1, Metrics: map[string]float64{"tuples/s": tuples}}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	base := &Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkM/csv/workers=8-8", 1000),
+		bench("BenchmarkM/gzip/workers=8-8", 400),
+		bench("BenchmarkM/discard/workers=8-8", 9000),
+		bench("BenchmarkGone-8", 5),
+	}}
+	cur := &Doc{Benchmarks: []Benchmark{
+		// -4 suffix: a machine with fewer cores must still line up.
+		bench("BenchmarkM/csv/workers=8-4", 2600),   // 2.6x, fine
+		bench("BenchmarkM/gzip/workers=8-4", 290),   // -27.5%, regression
+		bench("BenchmarkM/discard/workers=8-4", 10), // huge drop, but filtered out below
+		bench("BenchmarkNew-4", 77),                 // no baseline, skipped
+	}}
+
+	lines, failed := diff(base, cur, "tuples/s", 0.25, nil)
+	if !failed {
+		t.Fatal("27.5% drop must fail at a 25% threshold")
+	}
+	// 3 compared + BenchmarkGone reported as missing from the run.
+	if len(lines) != 4 {
+		t.Fatalf("reported %d lines, want 4:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	var regressions, missing int
+	for _, l := range lines {
+		if strings.Contains(l, "REGRESSION") {
+			regressions++
+			if !strings.Contains(l, "gzip") && !strings.Contains(l, "discard") {
+				t.Fatalf("unexpected regression line: %s", l)
+			}
+		}
+		if strings.Contains(l, "MISSING") {
+			missing++
+			if !strings.Contains(l, "BenchmarkGone") {
+				t.Fatalf("unexpected missing line: %s", l)
+			}
+		}
+	}
+	if regressions != 2 || missing != 1 {
+		t.Fatalf("flagged %d regressions and %d missing, want 2 and 1:\n%s",
+			regressions, missing, strings.Join(lines, "\n"))
+	}
+
+	// The filter restricts the gate to benchmarks with headroom.
+	lines, failed = diff(base, cur, "tuples/s", 0.25, regexpMust(t, "/(csv)/"))
+	if failed {
+		t.Fatalf("filtered diff must pass:\n%s", strings.Join(lines, "\n"))
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "csv") {
+		t.Fatalf("filtered lines = %v", lines)
+	}
+
+	// Within threshold passes; the filter keeps the gate to the
+	// benchmark that actually ran.
+	cur2 := &Doc{Benchmarks: []Benchmark{bench("BenchmarkM/gzip/workers=8-8", 301)}}
+	if _, failed := diff(base, cur2, "tuples/s", 0.25, regexpMust(t, "/(gzip)/")); failed {
+		t.Fatal("-24.75% must pass at a 25% threshold")
+	}
+	// A gated benchmark vanishing from the run fails even without
+	// regressions among those that ran.
+	if _, failed := diff(base, cur2, "tuples/s", 0.25, regexpMust(t, "/(csv|gzip)/")); !failed {
+		t.Fatal("csv benchmarks missing from the run must fail the gate")
+	}
+}
+
+func regexpMust(t *testing.T, expr string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":              "BenchmarkX",
+		"BenchmarkX/workers=8-16":   "BenchmarkX/workers=8",
+		"BenchmarkX":                "BenchmarkX",
+		"BenchmarkX/sub-case":       "BenchmarkX/sub-case",
+		"BenchmarkMaterialize-8-12": "BenchmarkMaterialize-8",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

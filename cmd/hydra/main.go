@@ -227,8 +227,12 @@ func cmdMaterialize(args []string) error {
 			if where == "" {
 				where = "(discarded)"
 			}
-			fmt.Printf("  %-24s %12d rows %10.1f MB  %s\n",
-				tr.Table, tr.Rows, float64(tr.Bytes)/1e6, where)
+			raw := ""
+			if tr.RawBytes > 0 && tr.RawBytes != tr.Bytes {
+				raw = fmt.Sprintf(" (%.1f MB raw)", float64(tr.RawBytes)/1e6)
+			}
+			fmt.Printf("  %-24s %12d rows %10.1f MB%s  %s\n",
+				tr.Table, tr.Rows, float64(tr.Bytes)/1e6, raw, where)
 		}
 		if rep.ManifestPath != "" {
 			fmt.Printf("  shard %d/%d manifest: %s\n", rep.Shard+1, rep.Shards, rep.ManifestPath)
@@ -337,8 +341,12 @@ func printVerification(vr *hydra.ShardVerifyReport) {
 		return
 	}
 	for _, tc := range vr.Tables {
-		fmt.Printf("  verified %-24s %12d rows %10.1f MB in %d parts\n",
-			tc.Table, tc.Rows, float64(tc.Bytes)/1e6, tc.Parts)
+		raw := ""
+		if tc.RawBytes != tc.Bytes {
+			raw = fmt.Sprintf(" (%.1f MB raw)", float64(tc.RawBytes)/1e6)
+		}
+		fmt.Printf("  verified %-24s %12d rows %10.1f MB%s in %d parts\n",
+			tc.Table, tc.Rows, float64(tc.Bytes)/1e6, raw, tc.Parts)
 	}
 	fmt.Printf("  verification OK: %d shards, %d files re-hashed (%.1f MB)\n",
 		vr.Shards, vr.FilesHashed, float64(vr.BytesHashed)/1e6)

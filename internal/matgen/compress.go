@@ -11,13 +11,14 @@ import (
 
 // Compressor wraps a sink's byte stream in a compression codec without
 // giving up matgen's determinism contract. The engine compresses each
-// collector write — one frame per chunk, plus one for the header and one
-// for the footer — into an independent, self-terminating member of the
-// codec's stream format. Because chunk boundaries depend only on
-// (BatchRows, sink alignment, shard range) and never on the worker count,
-// the framed output is byte-identical for any -workers value, and
-// concatenating compressed shard parts in shard order yields a valid
-// multi-member stream whose decompression is the whole-table file.
+// deterministic chunk — plus one frame for the header and one for the
+// footer — into an independent, self-terminating member of the codec's
+// stream format, inside the encode workers so members compress
+// concurrently. Because chunk boundaries depend only on (BatchRows, sink
+// alignment, shard range) and never on the worker count, the framed
+// output is byte-identical for any -workers value, and concatenating
+// compressed shard parts in shard order yields a valid multi-member
+// stream whose decompression is the whole-table file.
 type Compressor interface {
 	// Name is the codec name used by Options.Compress and the CLI
 	// -compress flag.
@@ -27,7 +28,9 @@ type Compressor interface {
 	Ext() string
 	// AppendFrame appends one compressed frame containing exactly src to
 	// dst and returns it. Frames must be self-terminating: a decoder of
-	// the concatenated frames recovers the concatenated sources.
+	// the concatenated frames recovers the concatenated sources. The
+	// engine calls AppendFrame from concurrent workers; implementations
+	// must be safe for concurrent use (pool any writer state).
 	AppendFrame(dst, src []byte) ([]byte, error)
 	// NewReader decompresses a stream of concatenated frames.
 	NewReader(r io.Reader) (io.ReadCloser, error)
@@ -129,28 +132,4 @@ func (gzipCompressor) NewReader(r io.Reader) (io.ReadCloser, error) {
 		return nil, err
 	}
 	return zr, nil // multistream mode reads concatenated members
-}
-
-// frameWriter turns each Write call into one compressed frame on the
-// underlying writer. The engine guarantees deterministic Write-call
-// boundaries (header, per-chunk, footer), which makes the framed stream
-// deterministic too.
-type frameWriter struct {
-	w    io.Writer
-	comp Compressor
-	buf  []byte
-}
-
-func (f *frameWriter) Write(p []byte) (int, error) {
-	if len(p) == 0 {
-		return 0, nil
-	}
-	var err error
-	if f.buf, err = f.comp.AppendFrame(f.buf[:0], p); err != nil {
-		return 0, err
-	}
-	if _, err := f.w.Write(f.buf); err != nil {
-		return 0, err
-	}
-	return len(p), nil
 }

@@ -181,8 +181,16 @@ func TestCompressValidation(t *testing.T) {
 	if _, err := Materialize(sum, Options{Format: "discard", Compress: "gzip"}); err == nil {
 		t.Fatal("compressing the discard sink must error")
 	}
-	if names := CompressorNames(); len(names) != 1 || names[0] != "gzip" {
-		t.Fatalf("CompressorNames = %v", names)
+	// The test binary registers an extra failing codec; gzip must be
+	// present regardless.
+	found := false
+	for _, name := range CompressorNames() {
+		if name == "gzip" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CompressorNames = %v, want gzip present", CompressorNames())
 	}
 	if c, err := CompressorFor("none"); c != nil || err != nil {
 		t.Fatalf("CompressorFor(none) = %v, %v", c, err)

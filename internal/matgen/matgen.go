@@ -1,14 +1,16 @@
 // Package matgen is Hydra's parallel materialization engine: it turns a
 // scale-independent database summary into actual big data volumes. Where
 // the original materialize path generated one tuple at a time into one
-// heap file, matgen streams column-major batches (tuplegen.Batch) through
-// a deterministic sharded worker pool into pluggable sinks (heap, CSV,
-// JSONL, SQL INSERT, discard).
+// heap file, matgen streams the summary's run structure (tuplegen.Span)
+// or column-major batches (tuplegen.Batch) through a deterministic
+// sharded worker pool into pluggable sinks (heap, CSV, JSONL, SQL
+// INSERT, discard).
 //
 // Determinism is the design center, in three layers:
 //
-//  1. Sinks are stateless encoders: a chunk's bytes depend only on the
-//     table layout and the chunk's absolute row offsets.
+//  1. Encoders are positionally pure: a chunk's bytes depend only on the
+//     table layout and the chunk's absolute row offsets, never on state
+//     accumulated across chunks.
 //  2. Chunk and shard boundaries respect the sink's alignment (heap page
 //     capacity, SQL statement group), so independently encoded pieces
 //     concatenate into exactly a sequential encoder's output.
@@ -19,11 +21,22 @@
 // into the byte-identical whole-table file. Each shard also writes a JSON
 // manifest describing its piece, the coordination artifact for
 // multi-machine runs.
+//
+// The encode pipeline is built to run at memory bandwidth, not GC or
+// strconv bandwidth: workers render each summary-row run's constant
+// column tail once and stamp it per row with an incrementing-decimal pk
+// writer (SpanEncoder), chunk buffers are recycled through a sync.Pool
+// so steady-state materialization allocates ~zero bytes per chunk, and
+// compression happens inside the workers — each chunk is an independent
+// gzip member, so members compress concurrently and the collector only
+// writes and hashes. Byte-determinism survives all of this by
+// construction because chunk boundaries never move.
 package matgen
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash"
 	"io"
@@ -42,6 +55,16 @@ import (
 // BatchRows zero: big enough to amortize the prefix walk and channel
 // hand-off, small enough to stay cache-resident.
 const DefaultBatchRows = 8192
+
+// CompressChunkRows caps the per-chunk row count of compressed runs.
+// Each chunk is one independent codec member compressed inside a worker,
+// so the cap is what lets compression scale across workers even for
+// tables no bigger than a few default batches. Like every chunking
+// input it is independent of the worker count, so compressed output
+// stays byte-identical for any -workers value; it does shape the member
+// framing, so changing it (or BatchRows below it) changes compressed —
+// never decompressed — bytes.
+const CompressChunkRows = 2048
 
 // Options tunes Materialize.
 type Options struct {
@@ -112,7 +135,10 @@ type Report struct {
 	Tables      []TableReport
 	Rows        int64
 	Bytes       int64
-	Elapsed     time.Duration
+	// RawBytes is the total encoded size before compression; equal to
+	// Bytes for uncompressed output.
+	RawBytes int64
+	Elapsed  time.Duration
 	// ManifestPath is where the shard manifest was written, if it was.
 	ManifestPath string
 }
@@ -181,21 +207,46 @@ func Materialize(sum *summary.Summary, opts Options) (*Report, error) {
 		rep.Compression = comp.Name()
 	}
 	start := time.Now()
-	for _, name := range tables {
-		tr, err := materializeTable(sum.Relations[name], sink, comp, opts)
+	tasks := make([]*tableTask, len(tables))
+	for i, name := range tables {
+		t, err := newTableTask(sum.Relations[name], sink, comp, opts)
 		if err != nil {
 			return nil, fmt.Errorf("matgen: %s: %w", name, err)
 		}
-		rep.Tables = append(rep.Tables, tr)
-		rep.Rows += tr.Rows
-		rep.Bytes += tr.Bytes
+		t.idx = i
+		tasks[i] = t
+	}
+	if opts.Workers == 1 {
+		// Sequential fast path: tables in order, one encoder, no
+		// goroutines. Byte-identical to the pool by construction (same
+		// chunking, same positionally pure encoding, one frame per chunk).
+		for _, t := range tasks {
+			t.run(comp, func(w io.Writer) (int64, error) {
+				return sequentialEncodeTable(t, sink, comp, opts, w)
+			})
+			if t.err != nil {
+				return nil, fmt.Errorf("matgen: %s: %w", t.l.Table, t.err)
+			}
+		}
+	} else if err := materializePool(tasks, sink, comp, opts); err != nil {
+		return nil, err
+	}
+	for _, t := range tasks {
+		rep.Tables = append(rep.Tables, t.tr)
+		rep.Rows += t.tr.Rows
+		rep.Bytes += t.tr.Bytes
+		if t.tr.RawBytes > 0 {
+			rep.RawBytes += t.tr.RawBytes
+		} else {
+			rep.RawBytes += t.tr.Bytes
+		}
 	}
 	rep.Elapsed = time.Since(start)
 	if needFiles && !opts.NoManifest {
 		m := &Manifest{
 			Version: manifestVersion, Format: rep.Format, Compression: rep.Compression,
 			Shard: rep.Shard, Shards: rep.Shards,
-			Tables: rep.Tables, Rows: rep.Rows, Bytes: rep.Bytes,
+			Tables: rep.Tables, Rows: rep.Rows, Bytes: rep.Bytes, RawBytes: rep.RawBytes,
 		}
 		path := ManifestPath(opts.Dir, opts.Shard, opts.Shards)
 		if err := writeManifest(path, m); err != nil {
@@ -252,192 +303,418 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func materializeTable(rs *summary.RelationSummary, sink Sink, comp Compressor, opts Options) (TableReport, error) {
+// chunkBufPool recycles chunk encode and compress buffers across chunks,
+// workers, tables, and Materialize calls: once the pool is warm,
+// steady-state materialization allocates ~zero bytes per chunk.
+var chunkBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getChunkBuf() *[]byte { return chunkBufPool.Get().(*[]byte) }
+
+func putChunkBuf(b *[]byte) {
+	*b = (*b)[:0]
+	chunkBufPool.Put(b)
+}
+
+// batchPool recycles per-worker column batches the same way; Batch
+// reshapes its buffers when the column count changes between tables.
+var batchPool = sync.Pool{New: func() any { return new(tuplegen.Batch) }}
+
+// chunkResult is one encoded (and possibly compressed) chunk handed from
+// a worker to the collector.
+type chunkResult struct {
+	// buf is the pooled output buffer: the compressed frame when a codec
+	// is configured, the raw encoding otherwise. nil when the worker was
+	// cancelled or failed.
+	buf *[]byte
+	// raw is the encoded size before compression.
+	raw int64
+	err error
+}
+
+// resultChanPool recycles the per-chunk result channels; each carries
+// exactly one value and is fully drained before reuse.
+var resultChanPool = sync.Pool{New: func() any { return make(chan chunkResult, 1) }}
+
+// errCanceled marks a table whose materialization was cut short because
+// another table failed; its partial output is removed and the failing
+// table's error is the one reported.
+var errCanceled = errors.New("matgen: canceled after another table failed")
+
+// tableTask carries one relation's state through a Materialize run.
+type tableTask struct {
+	idx       int
+	g         *tuplegen.Generator
+	l         Layout
+	rng       Range
+	cRows     int64 // rows per chunk, an align multiple
+	batchRows int
+	tr        TableReport
+	err       error
+}
+
+// newTableTask resolves one relation's layout, alignment, shard range,
+// chunk geometry, and output path.
+func newTableTask(rs *summary.RelationSummary, sink Sink, comp Compressor, opts Options) (*tableTask, error) {
 	g := tuplegen.New(rs)
 	g.SetFKSpread(opts.FKSpread)
 	l := Layout{Table: rs.Table, Cols: g.ColNames(), TotalRows: g.NumRows()}
 	align, err := sink.Align(len(l.Cols))
 	if err != nil {
-		return TableReport{}, err
+		return nil, err
 	}
 	if align < 1 {
-		return TableReport{}, fmt.Errorf("sink %q alignment %d out of range", sink.Name(), align)
+		return nil, fmt.Errorf("sink %q alignment %d out of range", sink.Name(), align)
 	}
 	rng := shardRange(l.TotalRows, opts.Shard, opts.Shards, align)
-	tr := TableReport{Table: rs.Table, StartRow: rng.Lo, Rows: rng.Rows(), TotalRows: l.TotalRows}
-
-	// Writer stack, bottom up: file ← size counter ← checksum tee ←
-	// [compressor framing] ← raw counter ← sink encoding. Bytes and
-	// Checksum describe the file as written; RawBytes the encoding
-	// before compression.
-	var out io.Writer = io.Discard
-	var file *os.File
-	var hash hash.Hash
+	chunkBatch := opts.BatchRows
+	if comp != nil && chunkBatch > CompressChunkRows {
+		chunkBatch = CompressChunkRows
+	}
+	t := &tableTask{
+		g: g, l: l, rng: rng,
+		cRows:     chunkRows(chunkBatch, align),
+		batchRows: opts.BatchRows,
+		tr:        TableReport{Table: rs.Table, StartRow: rng.Lo, Rows: rng.Rows(), TotalRows: l.TotalRows},
+	}
 	if sink.Ext() != "" {
-		ext := sink.Ext()
 		compExt := ""
 		if comp != nil {
 			compExt = comp.Ext()
 		}
-		tr.Path = partPath(opts.Dir, rs.Table, ext, opts.Shard, opts.Shards) + compExt
-		if file, err = os.Create(tr.Path); err != nil {
-			return TableReport{}, err
+		t.tr.Path = partPath(opts.Dir, rs.Table, sink.Ext(), opts.Shard, opts.Shards) + compExt
+	}
+	return t, nil
+}
+
+// nChunks returns how many chunks the task's range splits into.
+func (t *tableTask) nChunks() int64 { return (t.rng.Rows() + t.cRows - 1) / t.cRows }
+
+// run wraps one table's encode in its writer stack — file ← size counter
+// ← checksum tee — and fills in the report. Compression happens
+// upstream, inside the encode workers, so this stack only writes and
+// hashes the file bytes as written; raw (pre-compression) sizes are
+// accounted by the encode side and returned by the callback.
+func (t *tableTask) run(comp Compressor, encode func(w io.Writer) (int64, error)) {
+	var out io.Writer = io.Discard
+	var file *os.File
+	var h hash.Hash
+	if t.tr.Path != "" {
+		var err error
+		if file, err = os.Create(t.tr.Path); err != nil {
+			t.err = err
+			return
 		}
-		hash = sha256.New()
-		out = io.MultiWriter(file, hash)
+		h = sha256.New()
+		out = io.MultiWriter(file, h)
 	}
 	fileCount := &countingWriter{w: out}
-	var enc io.Writer = fileCount
-	if comp != nil {
-		enc = &frameWriter{w: fileCount, comp: comp}
-	}
-	raw := &countingWriter{w: enc}
-	err = writeTable(g, sink, l, rng, align, opts, raw)
+	raw, err := encode(fileCount)
 	if file != nil {
 		if cerr := file.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			os.Remove(tr.Path)
+			os.Remove(t.tr.Path)
 		}
 	}
 	if err != nil {
-		return TableReport{}, err
+		t.err = err
+		return
 	}
-	tr.Bytes = fileCount.n
+	t.tr.Bytes = fileCount.n
 	if comp != nil {
-		tr.RawBytes = raw.n
+		t.tr.RawBytes = raw
 	}
-	if hash != nil {
-		tr.Checksum = hex.EncodeToString(hash.Sum(nil))
+	if h != nil {
+		t.tr.Checksum = hex.EncodeToString(h.Sum(nil))
 	}
-	return tr, nil
 }
 
-func writeTable(g *tuplegen.Generator, sink Sink, l Layout, rng Range, align int, opts Options, w io.Writer) error {
-	if opts.Shard == 0 {
-		hdr, err := sink.Header(l)
-		if err != nil {
+// writeFramed writes p to w, as one compressed frame when a codec is
+// configured. Empty payloads produce no output, matching the historical
+// framing (header and footer frames exist only when non-empty).
+func writeFramed(w io.Writer, comp Compressor, p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if comp != nil {
+		buf := getChunkBuf()
+		defer putChunkBuf(buf)
+		var err error
+		if *buf, err = comp.AppendFrame((*buf)[:0], p); err != nil {
 			return err
 		}
-		if len(hdr) > 0 {
-			if _, err := w.Write(hdr); err != nil {
-				return err
-			}
+		p = *buf
+	}
+	_, err := w.Write(p)
+	return err
+}
+
+// encodeChunk renders rows [lo, hi) through enc into dst. When the
+// encoder understands run structure the summary-row spans are encoded
+// directly — no column batch is materialized at all; otherwise the rows
+// are generated batch-wise and encoded value by value. Both paths yield
+// identical bytes because encoding is a pure function of layout, values,
+// and absolute offsets.
+func encodeChunk(g *tuplegen.Generator, enc Encoder, se SpanEncoder, b *tuplegen.Batch, dst []byte, lo, hi int64, batchRows int) []byte {
+	if se != nil {
+		it := g.Spans(lo+1, hi-lo)
+		for sp, ok := it.Next(); ok; sp, ok = it.Next() {
+			dst = se.AppendSpan(dst, sp)
+		}
+		return dst
+	}
+	for off := lo; off < hi; {
+		n := int64(batchRows)
+		if off+n > hi {
+			n = hi - off
+		}
+		g.Batch(off+1, int(n), b)
+		dst = enc.AppendBatch(dst, b, off)
+		off += n
+	}
+	return dst
+}
+
+// sequentialEncodeTable emits one table's shard — header, chunks, footer
+// — on the calling goroutine and returns the raw (pre-compression) byte
+// count. It produces one frame per chunk, exactly like the pool.
+func sequentialEncodeTable(t *tableTask, sink Sink, comp Compressor, opts Options, w io.Writer) (int64, error) {
+	var raw int64
+	if opts.Shard == 0 {
+		hdr, err := sink.Header(t.l)
+		if err != nil {
+			return raw, err
+		}
+		raw += int64(len(hdr))
+		if err := writeFramed(w, comp, hdr); err != nil {
+			return raw, err
 		}
 	}
-	if err := encodeRangeTo(g, sink, l, rng, align, opts, w); err != nil {
-		return err
+	if t.rng.Rows() > 0 {
+		enc := sink.NewEncoder(t.l)
+		se, _ := enc.(SpanEncoder)
+		b := batchPool.Get().(*tuplegen.Batch)
+		defer batchPool.Put(b)
+		buf := getChunkBuf()
+		defer putChunkBuf(buf)
+		for lo := t.rng.Lo; lo < t.rng.Hi; lo += t.cRows {
+			hi := lo + t.cRows
+			if hi > t.rng.Hi {
+				hi = t.rng.Hi
+			}
+			*buf = encodeChunk(t.g, enc, se, b, (*buf)[:0], lo, hi, t.batchRows)
+			raw += int64(len(*buf))
+			if err := writeFramed(w, comp, *buf); err != nil {
+				return raw, err
+			}
+		}
 	}
 	if opts.Shard == opts.Shards-1 {
-		ftr, err := sink.Footer(l)
+		ftr, err := sink.Footer(t.l)
 		if err != nil {
-			return err
+			return raw, err
 		}
-		if len(ftr) > 0 {
-			if _, err := w.Write(ftr); err != nil {
-				return err
+		raw += int64(len(ftr))
+		if err := writeFramed(w, comp, ftr); err != nil {
+			return raw, err
+		}
+	}
+	return raw, nil
+}
+
+// encJob is one chunk of one table, schedulable by any pool worker.
+type encJob struct {
+	ti     int
+	lo, hi int64
+	out    chan chunkResult
+}
+
+// materializePool runs every table through one shared worker pool: all
+// chunks of all tables feed the same Workers encode workers — so
+// encoding and compression scale with the worker count even when the
+// summary holds many small relations — while each table keeps its own
+// dispatcher and ordered collector, which writes chunks strictly in
+// order and hashes sequentially. Workers hold one encoder and one batch
+// per (worker, table), created on first contact, so the steady-state
+// encode path allocates nothing per chunk. On the first error anywhere a
+// done channel closes: every dispatcher stops submitting, workers answer
+// remaining jobs without encoding, unfinished tables remove their
+// partial files, and the failing table's error is reported.
+func materializePool(tasks []*tableTask, sink Sink, comp Compressor, opts Options) error {
+	jobs := make(chan encJob)
+	done := make(chan struct{})
+	var abortOnce sync.Once
+	abort := func() { abortOnce.Do(func() { close(done) }) }
+
+	var workers sync.WaitGroup
+	for k := 0; k < opts.Workers; k++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			encs := make([]Encoder, len(tasks))
+			spanEncs := make([]SpanEncoder, len(tasks))
+			// One batch per worker serves every table: Batch reshapes
+			// across column widths without dropping its buffers.
+			b := batchPool.Get().(*tuplegen.Batch)
+			defer batchPool.Put(b)
+			for j := range jobs {
+				select {
+				case <-done: // run failed; answer without encoding
+					j.out <- chunkResult{}
+					continue
+				default:
+				}
+				t := tasks[j.ti]
+				if encs[j.ti] == nil {
+					encs[j.ti] = sink.NewEncoder(t.l)
+					spanEncs[j.ti], _ = encs[j.ti].(SpanEncoder)
+				}
+				buf := getChunkBuf()
+				*buf = encodeChunk(t.g, encs[j.ti], spanEncs[j.ti], b, (*buf)[:0], j.lo, j.hi, t.batchRows)
+				res := chunkResult{buf: buf, raw: int64(len(*buf))}
+				// An empty encoding produces no frame and no write,
+				// mirroring writeFramed on the sequential path, so
+				// worker-count determinism holds for sinks that emit
+				// nothing for some chunks.
+				if comp != nil && len(*buf) > 0 {
+					frame := getChunkBuf()
+					var err error
+					*frame, err = comp.AppendFrame((*frame)[:0], *buf)
+					putChunkBuf(buf)
+					if err != nil {
+						putChunkBuf(frame)
+						res = chunkResult{raw: res.raw, err: err}
+					} else {
+						res.buf = frame
+					}
+				}
+				j.out <- res
 			}
+		}()
+	}
+
+	var drivers sync.WaitGroup
+	for _, t := range tasks {
+		drivers.Add(1)
+		go func(t *tableTask) {
+			defer drivers.Done()
+			t.run(comp, func(w io.Writer) (int64, error) {
+				return poolEncodeTable(t, sink, comp, opts, jobs, done, abort, w)
+			})
+			if t.err != nil && t.err != errCanceled {
+				abort()
+			}
+		}(t)
+	}
+	drivers.Wait()
+	close(jobs)
+	workers.Wait()
+
+	for _, t := range tasks {
+		if t.err != nil && t.err != errCanceled {
+			return fmt.Errorf("matgen: %s: %w", t.l.Table, t.err)
+		}
+	}
+	for _, t := range tasks {
+		if t.err != nil {
+			return fmt.Errorf("matgen: %s: %w", t.l.Table, t.err)
 		}
 	}
 	return nil
 }
 
-// encodeRangeTo streams rng through the worker pool into w. Chunks are
-// dealt to workers in order; a dispatcher queues each chunk's result
-// channel before its job so the collector below drains results strictly
-// in chunk order regardless of which worker finishes first. The order
-// channel's capacity bounds how far encoding runs ahead of writing.
-func encodeRangeTo(g *tuplegen.Generator, sink Sink, l Layout, rng Range, align int, opts Options, w io.Writer) error {
-	if rng.Rows() == 0 {
-		return nil
-	}
-	batchRows := opts.BatchRows
-	cRows := chunkRows(batchRows, align)
-	nChunks := (rng.Rows() + cRows - 1) / cRows
-	if opts.Workers == 1 || nChunks == 1 {
-		// Sequential fast path: one reusable batch and buffer. Produces
-		// the same bytes as the pool by construction (same chunking, same
-		// stateless encoding), and issues one Write per chunk so that
-		// downstream framing (compression) sees identical boundaries at
-		// every worker count.
-		var b *tuplegen.Batch
-		var buf []byte
-		for lo := rng.Lo; lo < rng.Hi; lo += cRows {
-			hi := lo + cRows
-			if hi > rng.Hi {
-				hi = rng.Hi
-			}
-			buf = buf[:0]
-			for off := lo; off < hi; {
-				n := int64(batchRows)
-				if off+n > hi {
-					n = hi - off
-				}
-				b = g.Batch(off+1, int(n), b)
-				buf = sink.AppendBatch(buf, l, b, off)
-				off += n
-			}
-			if _, err := w.Write(buf); err != nil {
-				return err
-			}
+// poolEncodeTable is one table's driver on the shared pool: it writes
+// the header, dispatches the table's chunks into the global job channel,
+// collects results strictly in chunk order, and writes the footer. The
+// dispatcher queues each chunk's result channel before the next job so
+// the collector drains results in order regardless of which worker
+// finishes first; the order channel's capacity bounds how far this
+// table's encoding runs ahead of its writing. Returns the raw
+// (pre-compression) byte count.
+func poolEncodeTable(t *tableTask, sink Sink, comp Compressor, opts Options, jobs chan<- encJob, done <-chan struct{}, abort func(), w io.Writer) (int64, error) {
+	var raw int64
+	if opts.Shard == 0 {
+		hdr, err := sink.Header(t.l)
+		if err != nil {
+			return raw, err
 		}
-		return nil
+		raw += int64(len(hdr))
+		if err := writeFramed(w, comp, hdr); err != nil {
+			return raw, err
+		}
 	}
-
-	type job struct {
-		lo, hi int64
-		out    chan []byte
-	}
-	jobs := make(chan job)
-	order := make(chan chan []byte, opts.Workers*2)
-	var wg sync.WaitGroup
-	for k := 0; k < opts.Workers; k++ {
-		wg.Add(1)
+	if t.rng.Rows() > 0 {
+		order := make(chan chan chunkResult, opts.Workers*2)
 		go func() {
-			defer wg.Done()
-			var b *tuplegen.Batch
-			for j := range jobs {
-				// Start nil and let append size the buffer: sinks like
-				// discard emit nothing, and the others grow it once per
-				// chunk's first batches.
-				var buf []byte
-				for off := j.lo; off < j.hi; {
-					n := int64(batchRows)
-					if off+n > j.hi {
-						n = j.hi - off
-					}
-					b = g.Batch(off+1, int(n), b)
-					buf = sink.AppendBatch(buf, l, b, off)
-					off += n
+			defer close(order)
+			for lo := t.rng.Lo; lo < t.rng.Hi; lo += t.cRows {
+				hi := lo + t.cRows
+				if hi > t.rng.Hi {
+					hi = t.rng.Hi
 				}
-				j.out <- buf
+				ch := resultChanPool.Get().(chan chunkResult)
+				select {
+				case jobs <- encJob{ti: t.idx, lo: lo, hi: hi, out: ch}:
+					order <- ch // queued strictly in chunk order
+				case <-done:
+					resultChanPool.Put(ch)
+					return
+				}
 			}
 		}()
-	}
-	go func() {
-		for lo := rng.Lo; lo < rng.Hi; lo += cRows {
-			hi := lo + cRows
-			if hi > rng.Hi {
-				hi = rng.Hi
+		var firstErr error
+		fail := func(err error) {
+			if firstErr == nil {
+				firstErr = err
+				if err != errCanceled {
+					abort()
+				}
 			}
-			ch := make(chan []byte, 1)
-			order <- ch
-			jobs <- job{lo: lo, hi: hi, out: ch}
 		}
-		close(jobs)
-		close(order)
-	}()
-	var firstErr error
-	for ch := range order {
-		buf := <-ch
+		var got int64
+		for ch := range order {
+			res := <-ch
+			resultChanPool.Put(ch)
+			got++
+			if firstErr != nil {
+				if res.buf != nil {
+					putChunkBuf(res.buf)
+				}
+				continue
+			}
+			if res.err != nil {
+				fail(res.err)
+				continue
+			}
+			if res.buf == nil {
+				fail(errCanceled) // worker answered after the run failed
+				continue
+			}
+			raw += res.raw
+			if len(*res.buf) > 0 {
+				if _, err := w.Write(*res.buf); err != nil {
+					fail(err)
+				}
+			}
+			putChunkBuf(res.buf)
+		}
+		if firstErr == nil && got != t.nChunks() {
+			firstErr = errCanceled // dispatcher stopped early
+		}
 		if firstErr != nil {
-			continue // drain so the workers can finish
-		}
-		if _, err := w.Write(buf); err != nil {
-			firstErr = err
+			return raw, firstErr
 		}
 	}
-	wg.Wait()
-	return firstErr
+	if opts.Shard == opts.Shards-1 {
+		ftr, err := sink.Footer(t.l)
+		if err != nil {
+			return raw, err
+		}
+		raw += int64(len(ftr))
+		if err := writeFramed(w, comp, ftr); err != nil {
+			return raw, err
+		}
+	}
+	return raw, nil
 }

@@ -68,6 +68,10 @@ type Manifest struct {
 	Tables      []TableReport `json:"tables"`
 	Rows        int64         `json:"rows"`
 	Bytes       int64         `json:"bytes"`
+	// RawBytes is the shard's encoded size before compression (equal to
+	// Bytes for uncompressed output) — the number a capacity planner
+	// wants when deciding whether regenerating beats shipping.
+	RawBytes int64 `json:"raw_bytes,omitempty"`
 }
 
 const manifestVersion = 1

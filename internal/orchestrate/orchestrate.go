@@ -117,7 +117,11 @@ type Result struct {
 	Verification *VerifyReport
 	Rows         int64
 	Bytes        int64
-	Elapsed      time.Duration
+	// RawBytes is the job's encoded size before compression — equal to
+	// Bytes for uncompressed jobs, and the decompressed assembly size for
+	// compressed ones, the number capacity planning needs.
+	RawBytes int64
+	Elapsed  time.Duration
 }
 
 // RowsPerSec returns the whole-job generation throughput.
@@ -230,6 +234,11 @@ func Run(ctx context.Context, sum *summary.Summary, opts Options) (*Result, erro
 		}
 		res.Rows += sr.Report.Rows
 		res.Bytes += sr.Report.Bytes
+		if sr.Report.RawBytes > 0 {
+			res.RawBytes += sr.Report.RawBytes
+		} else {
+			res.RawBytes += sr.Report.Bytes
+		}
 	}
 	if firstErr != nil {
 		return res, firstErr

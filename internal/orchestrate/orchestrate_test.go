@@ -67,8 +67,21 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 
 	plain := t.TempDir()
-	if _, err := matgen.Materialize(sum, matgen.Options{Dir: plain, Format: "csv", Workers: 2, BatchRows: 128}); err != nil {
+	plainRep, err := matgen.Materialize(sum, matgen.Options{Dir: plain, Format: "csv", Workers: 2, BatchRows: 128})
+	if err != nil {
 		t.Fatal(err)
+	}
+	// Raw-byte accounting: the compressed job's pre-compression size must
+	// equal the plain run's output size, in both the job result and the
+	// verification report.
+	if res.RawBytes != plainRep.Bytes {
+		t.Fatalf("job RawBytes = %d, plain output = %d", res.RawBytes, plainRep.Bytes)
+	}
+	if res.Verification.RawBytes != plainRep.Bytes {
+		t.Fatalf("verification RawBytes = %d, plain output = %d", res.Verification.RawBytes, plainRep.Bytes)
+	}
+	if res.Bytes >= res.RawBytes {
+		t.Fatalf("compressed bytes %d should undercut raw %d on this data", res.Bytes, res.RawBytes)
 	}
 	comp, err := matgen.CompressorFor("gzip")
 	if err != nil {

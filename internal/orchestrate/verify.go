@@ -68,7 +68,10 @@ type TableCheck struct {
 	Table string
 	Rows  int64
 	Bytes int64
-	Parts int
+	// RawBytes is the table's encoded size before compression, summed
+	// from the manifests (equal to Bytes for uncompressed output).
+	RawBytes int64
+	Parts    int
 }
 
 // VerifyReport summarizes a successful verification.
@@ -77,6 +80,9 @@ type VerifyReport struct {
 	Format      string
 	Compression string
 	Tables      []TableCheck
+	// RawBytes is the assembly's total encoded size before compression,
+	// summed from the manifests.
+	RawBytes int64
 	// FilesHashed and BytesHashed count the re-hash work performed.
 	FilesHashed int
 	BytesHashed int64
@@ -137,6 +143,7 @@ func Verify(opts VerifyOptions) (*VerifyReport, error) {
 			return nil, err
 		}
 		rep.Tables = append(rep.Tables, check)
+		rep.RawBytes += check.RawBytes
 	}
 	return rep, nil
 }
@@ -236,6 +243,11 @@ func verifyTable(opts VerifyOptions, name string, parts []tablePart, rep *Verify
 		end = tr.StartRow + tr.Rows
 		check.Rows += tr.Rows
 		check.Bytes += tr.Bytes
+		if tr.RawBytes > 0 {
+			check.RawBytes += tr.RawBytes
+		} else {
+			check.RawBytes += tr.Bytes
+		}
 		if err := verifyPartFile(opts.Dir, name, p, rep); err != nil {
 			return check, err
 		}

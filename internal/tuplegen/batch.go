@@ -52,7 +52,16 @@ func (g *Generator) Batch(startPK int64, n int, b *Batch) *Batch {
 	}
 	ncols := g.NumCols()
 	if len(b.Cols) != ncols {
-		b.Cols = make([][]int64, ncols)
+		// Reshape without dropping column buffers: a batch recycled
+		// across relations of different widths (the engine pools them)
+		// keeps its per-column allocations.
+		if cap(b.Cols) < ncols {
+			cols := make([][]int64, ncols)
+			copy(cols, b.Cols[:cap(b.Cols)])
+			b.Cols = cols
+		} else {
+			b.Cols = b.Cols[:ncols]
+		}
 	}
 	for i := range b.Cols {
 		if cap(b.Cols[i]) < n {

@@ -15,11 +15,21 @@ type (
 	// identical for every worker count, and shard pieces concatenate into
 	// byte-identical whole-table files.
 	MaterializeOptions = matgen.Options
-	// MaterializeReport aggregates what one Materialize run produced.
+	// MaterializeReport aggregates what one Materialize run produced,
+	// including pre-compression RawBytes for capacity planning.
 	MaterializeReport = matgen.Report
-	// MaterializeSink is the pluggable encoder interface; custom sinks go
-	// in MaterializeOptions.Sink or matgen.RegisterSink.
+	// MaterializeSink is the pluggable format interface; custom sinks go
+	// in MaterializeOptions.Sink or matgen.RegisterSink. A sink
+	// manufactures one MaterializeEncoder per worker per table.
 	MaterializeSink = matgen.Sink
+	// MaterializeEncoder is the per-worker encoder a sink builds with
+	// NewEncoder: it carries layout-derived constants and scratch buffers
+	// so the steady-state encode path allocates nothing.
+	MaterializeEncoder = matgen.Encoder
+	// MaterializeSpanEncoder is the optional run-aware fast path: encoders
+	// implementing it render each summary-row span's constant column tail
+	// once and stamp it per row with an incrementing primary key.
+	MaterializeSpanEncoder = matgen.SpanEncoder
 )
 
 // Materialize generates the summary's relations into the configured sink
