@@ -19,6 +19,9 @@ package hydra_test
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
@@ -32,6 +35,7 @@ import (
 	"github.com/dsl-repro/hydra/internal/lp"
 	"github.com/dsl-repro/hydra/internal/preprocess"
 	"github.com/dsl-repro/hydra/internal/schema"
+	"github.com/dsl-repro/hydra/internal/serve"
 	"github.com/dsl-repro/hydra/internal/summary"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
 	"github.com/dsl-repro/hydra/internal/workload/job"
@@ -273,6 +277,51 @@ func BenchmarkMaterializeParallel(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkServeStream measures the regeneration-as-a-service path: one
+// client draining GET /v1/tables/store_sales from a loopback server —
+// the matgen encode pipeline plus HTTP chunking, flushing, and trailer
+// hashing. MB/s counts payload bytes as received (post-compression for
+// the gzip case), so the csv case is directly comparable with
+// BenchmarkMaterializeParallel's csv MB/s: the delta is the cost of the
+// network face.
+func BenchmarkServeStream(b *testing.B) {
+	e := getEnv(b)
+	res, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := serve.NewServer(res.Summary, serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	rows := res.Summary.Relations["store_sales"].Total
+	for _, tc := range []struct{ name, query string }{
+		{"csv", "format=csv"},
+		{"gzip", "format=csv&compress=gzip"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var payload int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Get(ts.URL + "/v1/tables/store_sales?" + tc.query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, err := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %s, err %v", resp.Status, err)
+				}
+				payload += n
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+			b.ReportMetric(float64(payload)/1e6/b.Elapsed().Seconds(), "MB/s")
+		})
 	}
 }
 

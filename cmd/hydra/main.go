@@ -9,7 +9,8 @@
 //	materialize -summary summary.json -dir out/ [-format heap|csv|jsonl|sql|discard]
 //	            [-workers K] [-shards N] [-shard i/N] [-compress gzip] [-tables a,b] [-fkspread]
 //	orchestrate -summary summary.json -dir out/ [-shards N] [-parallel P] [-compress gzip]
-//	            [-retries R] [-verify-only] ...
+//	            [-retries R] [-runners http://a,http://b] [-verify-only] ...
+//	serve       -summary summary.json [-addr :8372] [-max-streams N] [-rate-limit R]
 //	generate    -summary summary.json -table T [-n 10] [-from 1]
 //	demo        (runs the paper's Figure 1 scenario end to end)
 //
@@ -20,6 +21,12 @@
 // Orchestration (internal/orchestrate) schedules all N shards with
 // retries and then verifies the manifests: ranges must tile, rows must
 // sum to the summary's cardinalities, files must match their checksums.
+// With -runners the shards execute on a fleet of `hydra serve` machines
+// (internal/serve) instead of in-process: jobs round-robin with
+// failover, artifacts stream back as checksummed bundles, and the same
+// verification proves the assembly. `hydra serve` is the fleet member:
+// it loads one summary and regenerates tables over HTTP on demand,
+// optionally rate-limited into a load generator.
 package main
 
 import (
@@ -27,8 +34,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -52,6 +62,8 @@ func main() {
 		err = cmdMaterialize(os.Args[2:])
 	case "orchestrate":
 		err = cmdOrchestrate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
 	case "demo":
@@ -78,7 +90,10 @@ usage:
   hydra materialize -summary summary.json -dir out/ [-format heap|csv|jsonl|sql|discard]
                     [-workers K] [-shards N] [-shard i/N] [-compress gzip] [-tables a,b] [-fkspread]
   hydra orchestrate -summary summary.json -dir out/ [-format ...] [-shards N] [-parallel P]
-                    [-workers K] [-compress gzip] [-retries R] [-tables a,b] [-fkspread] [-verify-only]
+                    [-workers K] [-compress gzip] [-retries R] [-tables a,b] [-fkspread]
+                    [-runners http://a,http://b] [-verify-only]
+  hydra serve       -summary summary.json [-addr 127.0.0.1:8372] [-max-streams N]
+                    [-rate-limit rows/s] [-workers K]
   hydra generate    -summary summary.json -table T [-n 10] [-from 1]
   hydra demo
 `)
@@ -173,6 +188,7 @@ func cmdMaterialize(args []string) error {
 	compress := fs.String("compress", "", "output codec: "+strings.Join(hydra.MaterializeCompressors(), "|")+" (default none)")
 	tables := fs.String("tables", "", "comma-separated subset of relations (default all)")
 	spread := fs.Bool("fkspread", false, "spread FKs round-robin within referenced spans")
+	rateLimit := fs.Float64("rate-limit", 0, "cap emission at rows/s (0 = unlimited) — the load-generation knob")
 	fs.Parse(args)
 	if *sumPath == "" {
 		return fmt.Errorf("materialize: -summary is required")
@@ -182,12 +198,13 @@ func cmdMaterialize(args []string) error {
 		return err
 	}
 	opts := hydra.MaterializeOptions{
-		Dir:      *dir,
-		Format:   *format,
-		Compress: *compress,
-		Workers:  *workers,
-		Shards:   *shards,
-		FKSpread: *spread,
+		Dir:       *dir,
+		Format:    *format,
+		Compress:  *compress,
+		Workers:   *workers,
+		Shards:    *shards,
+		FKSpread:  *spread,
+		RateLimit: *rateLimit,
 	}
 	if *tables != "" {
 		for _, name := range strings.Split(*tables, ",") {
@@ -261,6 +278,7 @@ func cmdOrchestrate(args []string) error {
 	retries := fs.Int("retries", 0, "re-runs per failed shard (0 = default 2, negative = none)")
 	tables := fs.String("tables", "", "comma-separated subset of relations (default all)")
 	spread := fs.Bool("fkspread", false, "spread FKs round-robin within referenced spans")
+	runners := fs.String("runners", "", "comma-separated serve URLs; shards execute on this fleet instead of in-process")
 	verifyOnly := fs.Bool("verify-only", false, "skip generation; verify the manifests and files already in -dir")
 	fs.Parse(args)
 	if *sumPath == "" {
@@ -303,6 +321,29 @@ func cmdOrchestrate(args []string) error {
 		FKSpread: *spread,
 		Tables:   tableSubset,
 	}
+	if *runners != "" {
+		var urls []string
+		for _, u := range strings.Split(*runners, ",") {
+			urls = append(urls, strings.TrimSpace(u))
+		}
+		// Each fleet member picks its own encode parallelism unless
+		// -workers pins one; the local GOMAXPROCS split that governs
+		// in-process shards says nothing about remote machines.
+		runner, err := hydra.NewRemoteRunner(urls, hydra.RemoteRunnerOptions{Workers: *workers})
+		if err != nil {
+			return err
+		}
+		opts.Runner = runner
+		if *parallel == 0 {
+			// In-process parallelism is bounded by local cores; a fleet
+			// is bounded by its membership.
+			opts.Parallel = len(urls) * 2
+			if opts.Parallel > *shards {
+				opts.Parallel = *shards
+			}
+		}
+		fmt.Printf("dispatching %d shards to %d runner(s): %s\n", *shards, len(urls), strings.Join(runner.Servers(), ", "))
+	}
 	res, err := hydra.Orchestrate(context.Background(), sum, opts)
 	if res != nil {
 		for _, sr := range res.Shards {
@@ -327,6 +368,41 @@ func cmdOrchestrate(args []string) error {
 		res.Rows, res.Plan.Shards, res.Plan.Parallel, res.Elapsed.Round(time.Millisecond),
 		res.RowsPerSec(), *format, codecSuffix(*compress))
 	return nil
+}
+
+// cmdServe runs the regeneration server: one loaded summary exposed as
+// an HTTP data plane until SIGINT/SIGTERM, then a graceful drain.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	sumPath := fs.String("summary", "", "summary JSON")
+	addr := fs.String("addr", "127.0.0.1:8372", "listen address")
+	maxStreams := fs.Int("max-streams", 0, "concurrent table streams + shard jobs (0 = unlimited); excess requests get 503")
+	rateLimit := fs.Float64("rate-limit", 0, "per-stream rows/s cap (0 = unlimited); clients may request lower, never higher")
+	workers := fs.Int("workers", 0, "encode workers per shard job when the request leaves it unset (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	if *sumPath == "" {
+		return fmt.Errorf("serve: -summary is required")
+	}
+	sum, err := summary.Load(*sumPath)
+	if err != nil {
+		return err
+	}
+	var rows int64
+	for _, rs := range sum.Relations {
+		rows += rs.Total
+	}
+	fmt.Printf("serving %d relations (%d rows regenerable on demand) on http://%s\n",
+		len(sum.Relations), rows, *addr)
+	fmt.Printf("  GET  http://%s/v1/tables/{table}?format=csv|jsonl|sql|heap&compress=gzip&shard=i/N&offset=K\n", *addr)
+	fmt.Printf("  POST http://%s/v1/shardjobs   (hydra orchestrate -runners http://%s)\n", *addr, *addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return hydra.Serve(ctx, *addr, sum, hydra.ServeOptions{
+		MaxStreams: *maxStreams,
+		RateLimit:  *rateLimit,
+		Workers:    *workers,
+		Log:        log.New(os.Stderr, "", log.LstdFlags),
+	})
 }
 
 func codecSuffix(codec string) string {

@@ -34,6 +34,7 @@
 package matgen
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -47,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/dsl-repro/hydra/internal/rate"
 	"github.com/dsl-repro/hydra/internal/summary"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
 )
@@ -101,6 +103,13 @@ type Options struct {
 	FKSpread bool
 	// NoManifest suppresses the per-shard JSON manifest.
 	NoManifest bool
+	// RateLimit caps the whole run's emit rate in rows per second
+	// (0 = unlimited). The limiter paces the ordered collectors, so one
+	// budget is shared across every table of the run; encoding may run
+	// ahead only as far as the pool's in-flight chunk window. This is
+	// the load-generation knob: output bytes are unaffected, only the
+	// rate at which they are released.
+	RateLimit float64
 }
 
 // TableReport describes one relation's output from one shard.
@@ -154,6 +163,17 @@ func (r *Report) RowsPerSec() float64 {
 // Materialize generates the summary's relations through the configured
 // sink. See the package comment for the determinism guarantees.
 func Materialize(sum *summary.Summary, opts Options) (*Report, error) {
+	return MaterializeContext(context.Background(), sum, opts)
+}
+
+// MaterializeContext is Materialize under a cancellation context: when
+// ctx is done, dispatch and encoding stop promptly, partial output files
+// are removed, and the context's error is returned. This is what lets a
+// serving layer abort a shard job cleanly when its client disconnects.
+func MaterializeContext(ctx context.Context, sum *summary.Summary, opts Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Shards == 0 {
 		opts.Shards = 1
 	}
@@ -184,6 +204,10 @@ func Materialize(sum *summary.Summary, opts Options) (*Report, error) {
 		}
 	}
 	comp, err := CompressorFor(opts.Compress)
+	if err != nil {
+		return nil, err
+	}
+	lim, err := newRunLimiter(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -222,13 +246,19 @@ func Materialize(sum *summary.Summary, opts Options) (*Report, error) {
 		// chunking, same positionally pure encoding, one frame per chunk).
 		for _, t := range tasks {
 			t.run(comp, func(w io.Writer) (int64, error) {
-				return sequentialEncodeTable(t, sink, comp, opts, w)
+				return sequentialEncodeTable(ctx, t, sink, comp, opts, lim, w)
 			})
 			if t.err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("matgen: %w", cerr)
+				}
 				return nil, fmt.Errorf("matgen: %s: %w", t.l.Table, t.err)
 			}
 		}
-	} else if err := materializePool(tasks, sink, comp, opts); err != nil {
+	} else if err := materializePool(ctx, tasks, sink, comp, opts, lim); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("matgen: %w", cerr)
+		}
 		return nil, err
 	}
 	for _, t := range tasks {
@@ -255,6 +285,21 @@ func Materialize(sum *summary.Summary, opts Options) (*Report, error) {
 		rep.ManifestPath = path
 	}
 	return rep, nil
+}
+
+// newRunLimiter builds the run's shared row limiter from Options, with
+// the default schedule tolerance: chunks release whole, but each only
+// once its own emission time has elapsed, so even single-chunk tables
+// are paced.
+func newRunLimiter(opts Options) (*rate.Limiter, error) {
+	if opts.RateLimit == 0 {
+		return nil, nil
+	}
+	lim, err := rate.NewLimiter(opts.RateLimit, 0)
+	if err != nil {
+		return nil, fmt.Errorf("matgen: rate limit: %w", err)
+	}
+	return lim, nil
 }
 
 func resolveTables(sum *summary.Summary, subset []string) ([]string, error) {
@@ -326,9 +371,11 @@ type chunkResult struct {
 	// is configured, the raw encoding otherwise. nil when the worker was
 	// cancelled or failed.
 	buf *[]byte
-	// raw is the encoded size before compression.
-	raw int64
-	err error
+	// raw is the encoded size before compression; rows the chunk's row
+	// count, which the collector's rate limiter charges on release.
+	raw  int64
+	rows int64
+	err  error
 }
 
 // resultChanPool recycles the per-chunk result channels; each carries
@@ -479,7 +526,7 @@ func encodeChunk(g *tuplegen.Generator, enc Encoder, se SpanEncoder, b *tuplegen
 // sequentialEncodeTable emits one table's shard — header, chunks, footer
 // — on the calling goroutine and returns the raw (pre-compression) byte
 // count. It produces one frame per chunk, exactly like the pool.
-func sequentialEncodeTable(t *tableTask, sink Sink, comp Compressor, opts Options, w io.Writer) (int64, error) {
+func sequentialEncodeTable(ctx context.Context, t *tableTask, sink Sink, comp Compressor, opts Options, lim *rate.Limiter, w io.Writer) (int64, error) {
 	var raw int64
 	if opts.Shard == 0 {
 		hdr, err := sink.Header(t.l)
@@ -502,6 +549,11 @@ func sequentialEncodeTable(t *tableTask, sink Sink, comp Compressor, opts Option
 			hi := lo + t.cRows
 			if hi > t.rng.Hi {
 				hi = t.rng.Hi
+			}
+			// WaitN doubles as the cancellation poll: a nil limiter
+			// still fails fast on a done context.
+			if err := lim.WaitN(ctx, hi-lo); err != nil {
+				return raw, err
 			}
 			*buf = encodeChunk(t.g, enc, se, b, (*buf)[:0], lo, hi, t.batchRows)
 			raw += int64(len(*buf))
@@ -537,15 +589,18 @@ type encJob struct {
 // dispatcher and ordered collector, which writes chunks strictly in
 // order and hashes sequentially. Workers hold one encoder and one batch
 // per (worker, table), created on first contact, so the steady-state
-// encode path allocates nothing per chunk. On the first error anywhere a
-// done channel closes: every dispatcher stops submitting, workers answer
-// remaining jobs without encoding, unfinished tables remove their
-// partial files, and the failing table's error is reported.
-func materializePool(tasks []*tableTask, sink Sink, comp Compressor, opts Options) error {
+// encode path allocates nothing per chunk. On the first error anywhere
+// (or when ctx is done) a done channel closes: every dispatcher stops
+// submitting, workers answer remaining jobs without encoding, unfinished
+// tables remove their partial files, and the failing table's error is
+// reported.
+func materializePool(ctx context.Context, tasks []*tableTask, sink Sink, comp Compressor, opts Options, lim *rate.Limiter) error {
 	jobs := make(chan encJob)
 	done := make(chan struct{})
 	var abortOnce sync.Once
 	abort := func() { abortOnce.Do(func() { close(done) }) }
+	stop := context.AfterFunc(ctx, abort)
+	defer stop()
 
 	var workers sync.WaitGroup
 	for k := 0; k < opts.Workers; k++ {
@@ -572,7 +627,7 @@ func materializePool(tasks []*tableTask, sink Sink, comp Compressor, opts Option
 				}
 				buf := getChunkBuf()
 				*buf = encodeChunk(t.g, encs[j.ti], spanEncs[j.ti], b, (*buf)[:0], j.lo, j.hi, t.batchRows)
-				res := chunkResult{buf: buf, raw: int64(len(*buf))}
+				res := chunkResult{buf: buf, raw: int64(len(*buf)), rows: j.hi - j.lo}
 				// An empty encoding produces no frame and no write,
 				// mirroring writeFramed on the sequential path, so
 				// worker-count determinism holds for sinks that emit
@@ -584,7 +639,7 @@ func materializePool(tasks []*tableTask, sink Sink, comp Compressor, opts Option
 					putChunkBuf(buf)
 					if err != nil {
 						putChunkBuf(frame)
-						res = chunkResult{raw: res.raw, err: err}
+						res = chunkResult{raw: res.raw, rows: res.rows, err: err}
 					} else {
 						res.buf = frame
 					}
@@ -600,7 +655,7 @@ func materializePool(tasks []*tableTask, sink Sink, comp Compressor, opts Option
 		go func(t *tableTask) {
 			defer drivers.Done()
 			t.run(comp, func(w io.Writer) (int64, error) {
-				return poolEncodeTable(t, sink, comp, opts, jobs, done, abort, w)
+				return poolEncodeTable(ctx, t, sink, comp, opts, lim, jobs, done, abort, w)
 			})
 			if t.err != nil && t.err != errCanceled {
 				abort()
@@ -630,9 +685,10 @@ func materializePool(tasks []*tableTask, sink Sink, comp Compressor, opts Option
 // dispatcher queues each chunk's result channel before the next job so
 // the collector drains results in order regardless of which worker
 // finishes first; the order channel's capacity bounds how far this
-// table's encoding runs ahead of its writing. Returns the raw
-// (pre-compression) byte count.
-func poolEncodeTable(t *tableTask, sink Sink, comp Compressor, opts Options, jobs chan<- encJob, done <-chan struct{}, abort func(), w io.Writer) (int64, error) {
+// table's encoding runs ahead of its writing — which is also how far
+// encoding may outrun a rate limiter pacing the collector. Returns the
+// raw (pre-compression) byte count.
+func poolEncodeTable(ctx context.Context, t *tableTask, sink Sink, comp Compressor, opts Options, lim *rate.Limiter, jobs chan<- encJob, done <-chan struct{}, abort func(), w io.Writer) (int64, error) {
 	var raw int64
 	if opts.Shard == 0 {
 		hdr, err := sink.Header(t.l)
@@ -692,6 +748,13 @@ func poolEncodeTable(t *tableTask, sink Sink, comp Compressor, opts Options, job
 				continue
 			}
 			raw += res.raw
+			// Pace the release of this chunk's rows; encoding upstream
+			// runs ahead only as far as the order channel's capacity.
+			if err := lim.WaitN(ctx, res.rows); err != nil {
+				fail(err)
+				putChunkBuf(res.buf)
+				continue
+			}
 			if len(*res.buf) > 0 {
 				if _, err := w.Write(*res.buf); err != nil {
 					fail(err)

@@ -1,0 +1,296 @@
+package matgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/dsl-repro/hydra/internal/rate"
+	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+// ErrStream marks a stream request the caller got wrong — unknown
+// table, shard out of range, misaligned offset or limit, a sink with no
+// byte stream. A serving layer maps errors.Is(err, ErrStream) to a
+// client error; anything else is a generation failure.
+var ErrStream = errors.New("matgen: invalid stream request")
+
+// StreamOptions selects one relation range scan for Stream. The encoded
+// bytes are, by construction, exactly the bytes Materialize would put in
+// the corresponding part file: same header/footer placement, same chunk
+// grid, same per-chunk compression framing. That identity is what makes
+// a network data plane trustworthy — a fetched stream and a shipped file
+// verify against the same checksums.
+type StreamOptions struct {
+	// Table names the relation to scan. Required.
+	Table string
+	// Format names the sink ("heap" when empty). The sink must produce a
+	// byte stream; "discard" is rejected.
+	Format string
+	// Compress names the output codec ("gzip"; "" or "none" disables).
+	Compress string
+	// Shards and Shard select the piece of an N-way split to stream,
+	// exactly as in Options. Zero values mean the whole table.
+	Shards int
+	Shard  int
+	// Offset skips this many rows into the shard's range — the resume
+	// cursor. It must be a multiple of the sink's alignment. A stream
+	// resumed at an offset on the chunk grid (see Align and ChunkRows in
+	// the report) is byte-identical to the suffix of the original
+	// stream, compressed output included.
+	Offset int64
+	// Limit caps the scanned rows (0 = the rest of the shard). Unless it
+	// reaches the shard's end it must be a multiple of the sink's
+	// alignment, so a follow-up stream can resume exactly where this one
+	// stopped.
+	Limit int64
+	// BatchRows overrides DefaultBatchRows.
+	BatchRows int
+	// FKSpread enables tuplegen's spread-FK extension.
+	FKSpread bool
+	// RateLimit paces this stream in rows per second (0 = unlimited).
+	RateLimit float64
+}
+
+// StreamReport describes one stream: its geometry (known before any
+// byte is produced — StreamInfo returns it without generating) and, once
+// streamed, the emitted sizes.
+type StreamReport struct {
+	Table       string `json:"table"`
+	Format      string `json:"format"`
+	Compression string `json:"compression,omitempty"`
+	Shard       int    `json:"shard"`
+	Shards      int    `json:"shards"`
+	// StartRow is the absolute 0-based offset of the first streamed row.
+	StartRow int64 `json:"start_row"`
+	// Rows is the number of rows the stream covers.
+	Rows int64 `json:"rows"`
+	// TotalRows is the full-relation cardinality.
+	TotalRows int64 `json:"total_rows"`
+	// Align is the sink's row alignment: valid offsets and limits are
+	// its multiples.
+	Align int `json:"align"`
+	// ChunkRows is the chunk grid step anchored at the shard range's
+	// start; resuming on the grid reproduces compressed framing exactly.
+	ChunkRows int64 `json:"chunk_rows"`
+	// Bytes is the stream size as written (post-compression); RawBytes
+	// the encoded size before compression. Zero in StreamInfo results.
+	Bytes    int64 `json:"bytes,omitempty"`
+	RawBytes int64 `json:"raw_bytes,omitempty"`
+}
+
+// streamPlan is a resolved, validated stream request.
+type streamPlan struct {
+	t          *tableTask
+	sink       Sink
+	comp       Compressor
+	align      int
+	start, end int64 // absolute row range to encode
+	header     bool
+	footer     bool
+}
+
+func planStream(sum *summary.Summary, opts StreamOptions) (*streamPlan, error) {
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if opts.Shards < 1 || opts.Shard < 0 || opts.Shard >= opts.Shards {
+		return nil, fmt.Errorf("%w: shard %d of %d out of range", ErrStream, opts.Shard, opts.Shards)
+	}
+	if opts.BatchRows == 0 {
+		opts.BatchRows = DefaultBatchRows
+	}
+	if opts.BatchRows < 1 {
+		return nil, fmt.Errorf("%w: batch rows %d out of range", ErrStream, opts.BatchRows)
+	}
+	if opts.RateLimit != 0 {
+		if err := rate.Validate(opts.RateLimit); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStream, err)
+		}
+	}
+	format := opts.Format
+	if format == "" {
+		format = "heap"
+	}
+	sink, err := sinkFor(format)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	if sink.Ext() == "" {
+		return nil, fmt.Errorf("%w: format %q produces no byte stream", ErrStream, sink.Name())
+	}
+	comp, err := CompressorFor(opts.Compress)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	rs, ok := sum.Relations[opts.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: summary has no relation %q", ErrStream, opts.Table)
+	}
+	t, err := newTableTask(rs, sink, comp, Options{
+		Format: format, Shards: opts.Shards, Shard: opts.Shard,
+		BatchRows: opts.BatchRows, FKSpread: opts.FKSpread,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	align, err := sink.Align(len(t.l.Cols))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStream, err)
+	}
+	p := &streamPlan{t: t, sink: sink, comp: comp, align: align}
+	switch {
+	case opts.Offset < 0 || opts.Offset > t.rng.Rows():
+		return nil, fmt.Errorf("%w: offset %d outside shard rows [0, %d]", ErrStream, opts.Offset, t.rng.Rows())
+	case opts.Offset%int64(align) != 0:
+		return nil, fmt.Errorf("%w: offset %d not a multiple of the %s alignment %d", ErrStream, opts.Offset, sink.Name(), align)
+	case opts.Limit < 0:
+		return nil, fmt.Errorf("%w: limit %d out of range", ErrStream, opts.Limit)
+	}
+	p.start, p.end = t.rng.Lo+opts.Offset, t.rng.Hi
+	if opts.Limit > 0 && p.start+opts.Limit < t.rng.Hi {
+		if opts.Limit%int64(align) != 0 {
+			return nil, fmt.Errorf("%w: limit %d not a multiple of the %s alignment %d", ErrStream, opts.Limit, sink.Name(), align)
+		}
+		p.end = p.start + opts.Limit
+	}
+	p.header = opts.Shard == 0 && opts.Offset == 0
+	p.footer = opts.Shard == opts.Shards-1 && p.end == t.rng.Hi
+	return p, nil
+}
+
+func (p *streamPlan) report(opts StreamOptions) *StreamReport {
+	shards := opts.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	rep := &StreamReport{
+		Table: p.t.l.Table, Format: p.sink.Name(),
+		Shard: opts.Shard, Shards: shards,
+		StartRow: p.start, Rows: p.end - p.start, TotalRows: p.t.l.TotalRows,
+		Align: p.align, ChunkRows: p.t.cRows,
+	}
+	if p.comp != nil {
+		rep.Compression = p.comp.Name()
+	}
+	return rep
+}
+
+// StreamPlan is a validated, resolved stream request: the geometry is
+// known (Info) and the bytes can be produced (Run). Plans are not safe
+// for concurrent use — a serving layer builds one per request, reads
+// the geometry for its response headers, then runs it.
+type StreamPlan struct {
+	p    *streamPlan
+	opts StreamOptions
+}
+
+// PlanStream validates and resolves a stream request without generating
+// a byte. Invalid requests fail here, wrapped in ErrStream, before a
+// serving layer has committed any response.
+func PlanStream(sum *summary.Summary, opts StreamOptions) (*StreamPlan, error) {
+	p, err := planStream(sum, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamPlan{p: p, opts: opts}, nil
+}
+
+// Info returns the plan's geometry — rows, start row, alignment, chunk
+// grid — with the size fields zero until Run produces the bytes.
+func (sp *StreamPlan) Info() *StreamReport { return sp.p.report(sp.opts) }
+
+// StreamInfo validates a stream request and returns its geometry
+// without generating a byte.
+func StreamInfo(sum *summary.Summary, opts StreamOptions) (*StreamReport, error) {
+	sp, err := PlanStream(sum, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Info(), nil
+}
+
+// Stream encodes one relation range scan into w: the resumable,
+// rate-limitable network face of the materialization engine. The bytes
+// are identical to the corresponding Materialize part file (prefix or
+// suffix thereof for limited or resumed streams); chunk boundaries sit
+// on the same grid, so compressed members frame identically when the
+// offset and limit sit on the grid too. Cancellation is checked between
+// chunks; the returned error is ctx.Err() when the context ended the
+// stream.
+func Stream(ctx context.Context, sum *summary.Summary, opts StreamOptions, w io.Writer) (*StreamReport, error) {
+	sp, err := PlanStream(sum, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Run(ctx, w)
+}
+
+// Run produces the planned stream into w. See Stream.
+func (sp *StreamPlan) Run(ctx context.Context, w io.Writer) (*StreamReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, opts := sp.p, sp.opts
+	var lim *rate.Limiter
+	if opts.RateLimit > 0 {
+		var err error
+		if lim, err = rate.NewLimiter(opts.RateLimit, 0); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStream, err)
+		}
+	}
+	rep := p.report(opts)
+	cw := &countingWriter{w: w}
+	t := p.t
+	if p.header {
+		hdr, err := p.sink.Header(t.l)
+		if err != nil {
+			return rep, err
+		}
+		rep.RawBytes += int64(len(hdr))
+		if err := writeFramed(cw, p.comp, hdr); err != nil {
+			return rep, err
+		}
+	}
+	if p.start < p.end {
+		enc := p.sink.NewEncoder(t.l)
+		se, _ := enc.(SpanEncoder)
+		b := batchPool.Get().(*tuplegen.Batch)
+		defer batchPool.Put(b)
+		buf := getChunkBuf()
+		defer putChunkBuf(buf)
+		for lo := p.start; lo < p.end; {
+			// Chunk upper bounds sit on the grid anchored at the shard
+			// range's start, exactly where Materialize puts them, so a
+			// resumed stream re-joins the original chunk (and compressed
+			// member) structure instead of shifting it.
+			hi := t.rng.Lo + ((lo-t.rng.Lo)/t.cRows+1)*t.cRows
+			if hi > p.end {
+				hi = p.end
+			}
+			if err := lim.WaitN(ctx, hi-lo); err != nil {
+				return rep, err
+			}
+			*buf = encodeChunk(t.g, enc, se, b, (*buf)[:0], lo, hi, t.batchRows)
+			rep.RawBytes += int64(len(*buf))
+			if err := writeFramed(cw, p.comp, *buf); err != nil {
+				return rep, err
+			}
+			lo = hi
+		}
+	}
+	if p.footer {
+		ftr, err := p.sink.Footer(t.l)
+		if err != nil {
+			return rep, err
+		}
+		rep.RawBytes += int64(len(ftr))
+		if err := writeFramed(cw, p.comp, ftr); err != nil {
+			return rep, err
+		}
+	}
+	rep.Bytes = cw.n
+	return rep, nil
+}

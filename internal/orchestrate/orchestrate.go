@@ -53,6 +53,12 @@ type Options struct {
 	// Retries is how many times a failed shard is re-run before the job
 	// gives up; negative means no retries. Zero means DefaultRetries.
 	Retries int
+	// RetryBackoff is the pause before each re-run — the grace period a
+	// remote runner needs to fail over, and the damper that keeps a
+	// flapping executor from being hammered. Zero means
+	// DefaultRetryBackoff; negative means none. The pause observes ctx:
+	// a canceled job never sleeps out its backoff.
+	RetryBackoff time.Duration
 	// Runner executes shard jobs; nil means the in-process LocalRunner.
 	Runner Runner
 	// SkipVerify suppresses the post-run manifest verification.
@@ -62,6 +68,10 @@ type Options struct {
 // DefaultRetries is how often a failed shard is re-run when
 // Options.Retries is zero.
 const DefaultRetries = 2
+
+// DefaultRetryBackoff is the pause before a re-run when
+// Options.RetryBackoff is zero.
+const DefaultRetryBackoff = 100 * time.Millisecond
 
 // ShardJob is one schedulable piece of the plan: a fully resolved
 // matgen invocation for shard Shard of Plan.Shards.
@@ -76,6 +86,7 @@ type Plan struct {
 	Shards   int
 	Parallel int
 	Retries  int
+	Backoff  time.Duration
 	Jobs     []ShardJob
 }
 
@@ -87,15 +98,15 @@ type Runner interface {
 	Run(ctx context.Context, sum *summary.Summary, job ShardJob) (*matgen.Report, error)
 }
 
-// LocalRunner runs shard jobs in-process on the matgen engine.
+// LocalRunner runs shard jobs in-process on the matgen engine. It
+// matches the remote runner's cancellation contract: ctx aborts the
+// materialization mid-run, partial output is removed, and the context's
+// error is returned.
 type LocalRunner struct{}
 
 // Run implements Runner.
 func (LocalRunner) Run(ctx context.Context, sum *summary.Summary, job ShardJob) (*matgen.Report, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return matgen.Materialize(sum, job.Opts)
+	return matgen.MaterializeContext(ctx, sum, job.Opts)
 }
 
 // ShardResult records one shard's outcome.
@@ -173,7 +184,13 @@ func NewPlan(opts Options) (*Plan, error) {
 	} else if retries < 0 {
 		retries = 0
 	}
-	p := &Plan{Shards: opts.Shards, Parallel: parallel, Retries: retries}
+	backoff := opts.RetryBackoff
+	if backoff == 0 {
+		backoff = DefaultRetryBackoff
+	} else if backoff < 0 {
+		backoff = 0
+	}
+	p := &Plan{Shards: opts.Shards, Parallel: parallel, Retries: retries, Backoff: backoff}
 	for i := 0; i < opts.Shards; i++ {
 		p.Jobs = append(p.Jobs, ShardJob{Shard: i, Opts: matgen.Options{
 			Dir:       opts.Dir,
@@ -217,7 +234,7 @@ func Run(ctx context.Context, sum *summary.Summary, opts Options) (*Result, erro
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res.Shards[i] = runShard(ctx, runner, sum, job, plan.Retries)
+			res.Shards[i] = runShard(ctx, runner, sum, job, plan.Retries, plan.Backoff)
 		}(i, job)
 	}
 	wg.Wait()
@@ -253,11 +270,28 @@ func Run(ctx context.Context, sum *summary.Summary, opts Options) (*Result, erro
 	return res, nil
 }
 
-// runShard runs one job with retries. Re-running is safe: matgen
-// truncates its output files on open, and the manifest write is atomic.
-func runShard(ctx context.Context, runner Runner, sum *summary.Summary, job ShardJob, retries int) ShardResult {
+// runShard runs one job with retries, pausing backoff between attempts.
+// Re-running is safe: matgen truncates its output files on open, and the
+// manifest write is atomic. Cancellation is respected everywhere a
+// retry could stall: before the first attempt, during the backoff pause
+// (a canceled job returns immediately instead of sleeping it out), and
+// after a failed attempt.
+func runShard(ctx context.Context, runner Runner, sum *summary.Summary, job ShardJob, retries int, backoff time.Duration) ShardResult {
 	sr := ShardResult{Shard: job.Shard}
+	if err := ctx.Err(); err != nil {
+		sr.Attempts, sr.Err = 0, err
+		return sr
+	}
 	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			timer := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return sr // keep the last attempt's error, not ctx's
+			case <-timer.C:
+			}
+		}
 		sr.Attempts = attempt + 1
 		rep, err := runner.Run(ctx, sum, job)
 		if err == nil {

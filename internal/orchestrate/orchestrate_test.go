@@ -10,7 +10,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
 	"github.com/dsl-repro/hydra/internal/summary"
@@ -169,6 +171,74 @@ func TestExhaustedRetriesFail(t *testing.T) {
 		if sr.Err == nil || sr.Attempts != 2 {
 			t.Fatalf("shard result = %+v", sr)
 		}
+	}
+}
+
+// cancelingRunner fails every attempt and cancels the job context on
+// the first one — the shape of a fleet going away mid-job.
+type cancelingRunner struct {
+	cancel context.CancelFunc
+	calls  atomic.Int64
+}
+
+func (c *cancelingRunner) Run(ctx context.Context, sum *summary.Summary, job ShardJob) (*matgen.Report, error) {
+	if c.calls.Add(1) == 1 {
+		c.cancel()
+	}
+	return nil, errors.New("runner lost")
+}
+
+// TestRetryBackoffRespectsCancellation: once the context is canceled, a
+// failed shard must not sleep out its retry backoff or attempt again —
+// the clean-abort contract a serving layer relies on.
+func TestRetryBackoffRespectsCancellation(t *testing.T) {
+	sum := testSummary()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runner := &cancelingRunner{cancel: cancel}
+	start := time.Now()
+	res, err := Run(ctx, sum, Options{
+		Dir: t.TempDir(), Format: "csv", Shards: 1,
+		Retries: 5, RetryBackoff: 30 * time.Second,
+		Runner: runner,
+	})
+	if err == nil {
+		t.Fatal("expected job failure")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("canceled job took %v; the retry backoff was slept out", waited)
+	}
+	if got := runner.calls.Load(); got != 1 {
+		t.Fatalf("runner attempted %d times after cancellation, want 1", got)
+	}
+	if sr := res.Shards[0]; sr.Attempts != 1 || sr.Err == nil {
+		t.Fatalf("shard result = %+v", sr)
+	}
+}
+
+// TestLocalRunnerCancellation: the in-process Runner honors ctx the
+// same way a remote one does — the materialization aborts mid-run with
+// the context's error and leaves no partial artifacts.
+func TestLocalRunnerCancellation(t *testing.T) {
+	sum := testSummary()
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	job := ShardJob{Opts: matgen.Options{
+		Dir: dir, Format: "csv", Workers: 2, Shards: 1, BatchRows: 128, RateLimit: 500,
+	}}
+	if _, err := (LocalRunner{}).Run(ctx, sum, job); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("partial artifact left behind: %s", e.Name())
 	}
 }
 

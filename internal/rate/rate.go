@@ -1,0 +1,125 @@
+// Package rate is the token-bucket row limiter shared by the
+// materialization engine (internal/matgen) and the regeneration server
+// (internal/serve). Both emit rows in chunks, so the limiter's unit is
+// rows, not bytes: a Materialize call with Options.RateLimit set paces
+// its collectors, and every HTTP table stream paces its chunk writes,
+// which is what turns the server into a load generator with a
+// controllable emit rate.
+//
+// The implementation is a GCRA-style virtual scheduler rather than a
+// stored token count: the limiter tracks the virtual time at which the
+// next row may be emitted and advances it by n/rate per WaitN(n). The
+// long-run rate is therefore exact regardless of chunk size — each call
+// pays for precisely the rows it emits — while a bounded burst credit
+// lets a stream that fell behind (slow client, GC pause) catch back up
+// instead of permanently losing its budget.
+package rate
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultBurst is the schedule tolerance granted when NewLimiter is
+// given a non-positive burst: emission may run this far ahead of the
+// virtual schedule — enough to absorb scheduling jitter between chunk
+// writes without letting the observed rate meaningfully exceed the
+// configured one on any stream longer than a second or two.
+const DefaultBurst = 50 * time.Millisecond
+
+// Limiter paces row emission to a fixed rows-per-second rate. It is safe
+// for concurrent use; goroutines sharing one limiter share its budget.
+type Limiter struct {
+	perSec float64
+	burst  time.Duration
+
+	mu sync.Mutex
+	// next is the virtual time at which the stream's emission schedule
+	// stands: every WaitN(n) advances it by n/perSec, and emission is
+	// released once it would complete no more than burst ahead of that
+	// schedule. Idle time does not bank credit beyond the standing
+	// burst tolerance.
+	next time.Time
+}
+
+// MinPerSec is the lowest accepted rate: one row per ~17 minutes. The
+// floor exists so per-chunk wait durations can never overflow a
+// time.Duration — below it a "rate limit" is indistinguishable from a
+// hang anyway.
+const MinPerSec = 1e-3
+
+// Validate reports whether perSec is usable as a rate: finite and
+// within [MinPerSec, ∞). NaN, ±Inf, zero, negatives, and denormally
+// tiny rates are rejected — every one of them would otherwise disable
+// or corrupt the pacing math silently (NaN fails every comparison, so
+// an unchecked NaN walks straight past `<= 0` guards and rate caps).
+func Validate(perSec float64) error {
+	if math.IsNaN(perSec) || math.IsInf(perSec, 0) || perSec < MinPerSec {
+		return fmt.Errorf("rate: rows/s %v out of range [%v, +Inf)", perSec, MinPerSec)
+	}
+	return nil
+}
+
+// NewLimiter returns a limiter emitting perSec rows per second. The
+// burst is the schedule tolerance in rows; non-positive selects
+// DefaultBurst's worth. perSec must satisfy Validate; callers
+// expressing "unlimited" should use a nil *Limiter, which every method
+// accepts.
+func NewLimiter(perSec float64, burst int64) (*Limiter, error) {
+	if err := Validate(perSec); err != nil {
+		return nil, err
+	}
+	b := DefaultBurst
+	if burst > 0 {
+		b = time.Duration(float64(burst) / perSec * float64(time.Second))
+	}
+	return &Limiter{perSec: perSec, burst: b}, nil
+}
+
+// Rate returns the configured rows/s; 0 for a nil (unlimited) limiter.
+func (l *Limiter) Rate() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.perSec
+}
+
+// WaitN blocks until n rows may be emitted, or until ctx is done. A nil
+// limiter never blocks (but still honors an already-canceled ctx, so
+// rate-limited and unlimited paths cancel identically). n may exceed
+// the burst — chunks are released whole — but the release is held until
+// the chunk's own emission time has (all but the burst tolerance)
+// elapsed, so even a table that fits in one chunk is paced.
+func (l *Limiter) WaitN(ctx context.Context, n int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if l == nil || n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	now := time.Now()
+	// An idle stream re-anchors at now: no banked catch-up credit.
+	if l.next.Before(now) {
+		l.next = now
+	}
+	l.next = l.next.Add(time.Duration(float64(n) / l.perSec * float64(time.Second)))
+	due := l.next.Add(-l.burst)
+	l.mu.Unlock()
+
+	wait := due.Sub(now)
+	if wait <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

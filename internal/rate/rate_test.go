@@ -1,0 +1,157 @@
+package rate
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewLimiterValidation(t *testing.T) {
+	// NaN and Inf deserve explicit rejection: both fail every numeric
+	// comparison, so an unvalidated value would silently disable pacing
+	// (and walk past any rate cap). Denormally tiny rates would
+	// overflow the per-chunk wait duration.
+	for _, perSec := range []float64{0, -1, math.Inf(-1), math.Inf(1), math.NaN(), 1e-300, MinPerSec / 2} {
+		if _, err := NewLimiter(perSec, 0); err == nil {
+			t.Fatalf("perSec %v: expected error", perSec)
+		}
+		if err := Validate(perSec); err == nil {
+			t.Fatalf("Validate(%v): expected error", perSec)
+		}
+	}
+	for _, perSec := range []float64{MinPerSec, 1, 1e9} {
+		if err := Validate(perSec); err != nil {
+			t.Fatalf("Validate(%v): %v", perSec, err)
+		}
+	}
+	l, err := NewLimiter(100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rate() != 100 {
+		t.Fatalf("rate = %v", l.Rate())
+	}
+	var nilLim *Limiter
+	if nilLim.Rate() != 0 {
+		t.Fatalf("nil rate = %v", nilLim.Rate())
+	}
+}
+
+// TestRateAccuracy is the acceptance bound: emitting chunk-by-chunk
+// through the limiter must land within ±10% of the configured rows/s.
+func TestRateAccuracy(t *testing.T) {
+	const (
+		perSec = 20000.0
+		chunk  = 512
+		total  = 10000
+	)
+	l, err := NewLimiter(perSec, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	start := time.Now()
+	for sent := 0; sent < total; sent += chunk {
+		n := chunk
+		if total-sent < n {
+			n = total - sent
+		}
+		if err := l.WaitN(ctx, int64(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := float64(total) / time.Since(start).Seconds()
+	// The burst tolerance lets the stream finish up to one burst early,
+	// so the observed rate can only run slightly high; the ±10% window
+	// still bounds both sides.
+	if got < perSec*0.9 || got > perSec*1.1 {
+		t.Fatalf("observed %.0f rows/s, configured %.0f (±10%%)", got, perSec)
+	}
+}
+
+// TestSharedBudget: two goroutines on one limiter split one budget, not
+// double it.
+func TestSharedBudget(t *testing.T) {
+	const perSec = 10000.0
+	l, err := NewLimiter(perSec, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sent := 0; sent < 2000; sent += 100 {
+				if err := l.WaitN(context.Background(), 100); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := 4000 / time.Since(start).Seconds()
+	if got > perSec*1.1 {
+		t.Fatalf("two streams achieved %.0f rows/s on a %.0f budget", got, perSec)
+	}
+}
+
+// TestWaitCancellation: a blocked WaitN returns promptly with the ctx
+// error; it does not sleep out its full wait after cancellation.
+func TestWaitCancellation(t *testing.T) {
+	l, err := NewLimiter(10, 1) // 10 rows/s: each chunk waits ~100ms+
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitN(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := l.WaitN(ctx, 10); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 500*time.Millisecond {
+		t.Fatalf("cancellation took %v, wait was not interrupted", waited)
+	}
+
+	// An already-canceled ctx fails immediately, nil limiter included.
+	if err := l.WaitN(ctx, 1); err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	var nilLim *Limiter
+	if err := nilLim.WaitN(ctx, 1); err != context.Canceled {
+		t.Fatalf("nil limiter err = %v", err)
+	}
+	if err := nilLim.WaitN(context.Background(), 1); err != nil {
+		t.Fatalf("nil limiter err = %v", err)
+	}
+}
+
+// TestBurstCap: idle time banks no catch-up credit beyond the standing
+// burst tolerance, so a long pause cannot fund an emission spike.
+func TestBurstCap(t *testing.T) {
+	l, err := NewLimiter(1000, 50) // 50 rows = 50ms of tolerance
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // idle: must not bank credit
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := l.WaitN(context.Background(), 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 200 rows at 1000/s = 200ms minus the 50ms tolerance => ≥ ~150ms.
+	if e := time.Since(start); e < 100*time.Millisecond {
+		t.Fatalf("200 idle-banked rows took %v; burst cap not applied", e)
+	}
+}

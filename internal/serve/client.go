@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"archive/tar"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/orchestrate"
+	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+// RunnerOptions tunes a RemoteRunner.
+type RunnerOptions struct {
+	// Client issues the HTTP requests; nil builds one without timeouts
+	// (shard streams legitimately run long; cancellation comes from the
+	// job context).
+	Client *http.Client
+	// Attempts is how many fleet members one Run tries before giving up
+	// (each failure moves to the next server in round-robin order);
+	// 0 means every server once. The orchestrator's own retry budget
+	// multiplies on top of this.
+	Attempts int
+	// Workers overrides the encode worker count sent with each job.
+	// Zero — the default — lets every server choose its own parallelism
+	// (GOMAXPROCS there), which is almost always right for a
+	// heterogeneous fleet; the local plan's per-shard split of *this*
+	// machine's cores is meaningless remotely.
+	Workers int
+	// SkipSummaryCheck drops the summary-digest guard from job
+	// requests. Only for fleets that manage summary identity some other
+	// way.
+	SkipSummaryCheck bool
+}
+
+// RemoteRunner executes orchestrate shard jobs on a fleet of serve
+// servers: the client half of regeneration-as-a-service. It implements
+// orchestrate.Runner, so hydra.Orchestrate schedules, retries, and
+// verifies exactly as it does in-process — only the execution is
+// elsewhere. Jobs round-robin across the fleet; a failed job fails over
+// to the next server with its partial artifacts removed, and every
+// fetched file is re-hashed against the manifest the server bundled
+// before the job reports success.
+type RemoteRunner struct {
+	servers []string
+	opts    RunnerOptions
+	next    atomic.Uint64
+
+	mu     sync.Mutex
+	digSum *summary.Summary // summary the cached digest was computed for
+	digest string
+}
+
+var _ orchestrate.Runner = (*RemoteRunner)(nil)
+
+// NewRemoteRunner builds a runner over the fleet's base URLs
+// (e.g. "http://10.0.0.7:8372").
+func NewRemoteRunner(servers []string, opts RunnerOptions) (*RemoteRunner, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("serve: remote runner needs at least one server URL")
+	}
+	clean := make([]string, len(servers))
+	for i, raw := range servers {
+		u, err := url.Parse(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, fmt.Errorf("serve: server URL %q: %w", raw, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("serve: server URL %q: want http(s)://host[:port]", raw)
+		}
+		clean[i] = strings.TrimRight(u.String(), "/")
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	return &RemoteRunner{servers: clean, opts: opts}, nil
+}
+
+// Servers returns the fleet's base URLs.
+func (r *RemoteRunner) Servers() []string { return append([]string(nil), r.servers...) }
+
+// Run implements orchestrate.Runner: ship the job to a fleet member,
+// fetch the artifact bundle into the job's output directory, verify it
+// against the bundled manifest, and fail over on any error.
+func (r *RemoteRunner) Run(ctx context.Context, sum *summary.Summary, job orchestrate.ShardJob) (*matgen.Report, error) {
+	if job.Opts.Dir == "" {
+		return nil, errors.New("serve: remote job needs an output directory")
+	}
+	if err := os.MkdirAll(job.Opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	req, err := r.jobRequest(sum, job)
+	if err != nil {
+		return nil, err
+	}
+	attempts := r.opts.Attempts
+	if attempts <= 0 {
+		attempts = len(r.servers)
+	}
+	idx := int(r.next.Add(1) - 1)
+	var lastErr error
+	fails, busyWaits := 0, 0
+	for {
+		srv := r.servers[idx%len(r.servers)]
+		idx++
+		rep, err := r.runOn(ctx, srv, req, job)
+		if err == nil {
+			return rep, nil
+		}
+		lastErr = fmt.Errorf("%s: %w", srv, err)
+		if ctx.Err() != nil {
+			break // canceled; failing over cannot help
+		}
+		// A 503 is capacity signaling, not failure: the server is
+		// healthy but at -max-streams. Honor its Retry-After and move
+		// on through the rotation without burning a failover attempt —
+		// up to a bounded number of waits, so a permanently saturated
+		// fleet still surfaces an error to the orchestrator's retries.
+		var busy *busyError
+		if errors.As(err, &busy) && busyWaits < maxBusyWaits {
+			busyWaits++
+			timer := time.NewTimer(busy.retryAfter)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, fmt.Errorf("serve: shard %d/%d: %w", job.Shard+1, job.Opts.Shards, lastErr)
+			case <-timer.C:
+			}
+			continue
+		}
+		if fails++; fails >= attempts {
+			break
+		}
+	}
+	return nil, fmt.Errorf("serve: shard %d/%d failed on %d server(s), last: %w",
+		job.Shard+1, job.Opts.Shards, min(attempts, len(r.servers)), lastErr)
+}
+
+// maxBusyWaits bounds how many 503 capacity rejections one Run will
+// wait out before treating saturation as failure.
+const maxBusyWaits = 8
+
+// busyError is a 503 capacity rejection with its Retry-After hint.
+type busyError struct {
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *busyError) Error() string { return e.msg }
+
+// busyRetryAfter parses a 503's Retry-After seconds, clamped to
+// [100ms, 30s]; absent or malformed values mean 1s.
+func busyRetryAfter(resp *http.Response) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+		if d < 100*time.Millisecond {
+			d = 100 * time.Millisecond
+		}
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// jobRequest maps the orchestrator's resolved matgen options onto the
+// wire document.
+func (r *RemoteRunner) jobRequest(sum *summary.Summary, job orchestrate.ShardJob) (*ShardJobRequest, error) {
+	req := &ShardJobRequest{
+		Format:    job.Opts.Format,
+		Compress:  job.Opts.Compress,
+		Shards:    job.Opts.Shards,
+		Shard:     job.Opts.Shard,
+		Tables:    job.Opts.Tables,
+		BatchRows: job.Opts.BatchRows,
+		FKSpread:  job.Opts.FKSpread,
+		Workers:   r.opts.Workers,
+		RateLimit: job.Opts.RateLimit,
+	}
+	if req.Shards == 0 {
+		req.Shards = 1
+	}
+	if !r.opts.SkipSummaryCheck {
+		digest, err := r.digestFor(sum)
+		if err != nil {
+			return nil, err
+		}
+		req.SummaryDigest = digest
+	}
+	return req, nil
+}
+
+// digestFor caches the summary digest across the many Run calls one
+// orchestrated job makes with the same summary.
+func (r *RemoteRunner) digestFor(sum *summary.Summary) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.digSum == sum && r.digest != "" {
+		return r.digest, nil
+	}
+	digest, err := SummaryDigest(sum)
+	if err != nil {
+		return "", err
+	}
+	r.digSum, r.digest = sum, digest
+	return digest, nil
+}
+
+// errorBodyLimit bounds how much of an error response is read back.
+const errorBodyLimit = 4 << 10
+
+// runOn executes the job on one server and unpacks the bundle. The
+// download stages into a private temp dir and is renamed into the
+// output directory only after the whole bundle verified against its
+// manifest — so a failed, torn, or misbehaving attempt can never touch
+// (let alone clobber) another shard's already-delivered artifacts, and
+// a follow-up attempt starts from a clean slate.
+func (r *RemoteRunner) runOn(ctx context.Context, srv string, req *ShardJobRequest, job orchestrate.ShardJob) (_ *matgen.Report, err error) {
+	start := time.Now()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, srv+"/v1/shardjobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.opts.Client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
+		errText := fmt.Sprintf("server answered %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return nil, &busyError{retryAfter: busyRetryAfter(resp), msg: errText}
+		}
+		return nil, errors.New(errText)
+	}
+
+	dir := job.Opts.Dir
+	// The dot-prefixed staging dir is invisible to shard verification
+	// and glob-based consumption even if a crash leaves it behind.
+	stage, err := os.MkdirTemp(dir, ".hydra-fetch-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(stage)
+
+	files := map[string]fileState{}
+	tr := tar.NewReader(resp.Body)
+	for {
+		hdr, terr := tr.Next()
+		if terr == io.EOF {
+			break
+		}
+		if terr != nil {
+			return nil, fmt.Errorf("artifact bundle: %w", terr)
+		}
+		name := hdr.Name
+		if name == "" || name != filepath.Base(name) || strings.HasPrefix(name, ".") ||
+			hdr.Typeflag != tar.TypeReg {
+			return nil, fmt.Errorf("artifact bundle: unexpected entry %q", name)
+		}
+		f, ferr := os.Create(filepath.Join(stage, name))
+		if ferr != nil {
+			return nil, ferr
+		}
+		h := sha256.New()
+		n, cerr := io.Copy(io.MultiWriter(f, h), tr)
+		if werr := f.Close(); cerr == nil {
+			cerr = werr
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("artifact bundle: %s: %w", name, cerr)
+		}
+		files[name] = fileState{size: n, sum: hex.EncodeToString(h.Sum(nil))}
+	}
+
+	manifestName := filepath.Base(matgen.ManifestPath(dir, req.Shard, req.Shards))
+	if _, ok := files[manifestName]; !ok {
+		return nil, fmt.Errorf("artifact bundle ended without manifest %s", manifestName)
+	}
+	m, err := matgen.ReadManifest(filepath.Join(stage, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBundle(m, req, files, manifestName); err != nil {
+		return nil, err
+	}
+	// Commit: data files first, the manifest last, so an interrupted
+	// commit leaves a shard that loudly fails verification rather than
+	// a manifest vouching for files that never landed.
+	for name := range files {
+		if name == manifestName {
+			continue
+		}
+		if err := os.Rename(filepath.Join(stage, name), filepath.Join(dir, name)); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.Rename(filepath.Join(stage, manifestName), filepath.Join(dir, manifestName)); err != nil {
+		return nil, err
+	}
+
+	rep := &matgen.Report{
+		Format:       m.Format,
+		Compression:  m.Compression,
+		Shard:        m.Shard,
+		Shards:       m.Shards,
+		Tables:       append([]matgen.TableReport(nil), m.Tables...),
+		Rows:         m.Rows,
+		Bytes:        m.Bytes,
+		RawBytes:     m.RawBytes,
+		Elapsed:      time.Since(start),
+		ManifestPath: filepath.Join(dir, manifestName),
+	}
+	if rep.RawBytes == 0 {
+		rep.RawBytes = rep.Bytes
+	}
+	// The manifest records the server's paths; the report speaks for the
+	// local copies.
+	for i := range rep.Tables {
+		rep.Tables[i].Path = filepath.Join(dir, filepath.Base(rep.Tables[i].Path))
+	}
+	return rep, nil
+}
+
+// fileState is one fetched bundle entry's observed size and SHA-256.
+type fileState struct {
+	size int64
+	sum  string
+}
+
+// checkBundle proves the fetched artifacts are the job that was asked
+// for and arrived intact: the manifest must describe this exact shard,
+// every manifest-listed file must be present with its recorded size and
+// SHA-256 (re-hashed during download), and the bundle must carry
+// nothing else.
+func checkBundle(m *matgen.Manifest, req *ShardJobRequest, files map[string]fileState, manifestName string) error {
+	if m.Shard != req.Shard || m.Shards != req.Shards {
+		return fmt.Errorf("manifest claims shard %d of %d, requested %d of %d",
+			m.Shard, m.Shards, req.Shard, req.Shards)
+	}
+	if m.Format != req.Format {
+		return fmt.Errorf("manifest format %q, requested %q", m.Format, req.Format)
+	}
+	wantComp := req.Compress
+	if wantComp == "none" {
+		wantComp = ""
+	}
+	if m.Compression != wantComp {
+		return fmt.Errorf("manifest compression %q, requested %q", m.Compression, wantComp)
+	}
+	expected := map[string]bool{manifestName: true}
+	for _, tr := range m.Tables {
+		if tr.Path == "" {
+			continue
+		}
+		name := filepath.Base(tr.Path)
+		expected[name] = true
+		got, ok := files[name]
+		if !ok {
+			return fmt.Errorf("bundle missing %s", name)
+		}
+		if got.size != tr.Bytes {
+			return fmt.Errorf("%s: %d bytes fetched, manifest recorded %d", name, got.size, tr.Bytes)
+		}
+		if tr.Checksum != "" && got.sum != tr.Checksum {
+			return fmt.Errorf("%s: sha256 %s, manifest recorded %s", name, got.sum, tr.Checksum)
+		}
+	}
+	for name := range files {
+		if !expected[name] {
+			return fmt.Errorf("bundle carried unexpected file %s", name)
+		}
+	}
+	return nil
+}

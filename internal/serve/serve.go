@@ -1,0 +1,241 @@
+// Package serve is Hydra's regeneration-as-a-service layer: it turns a
+// loaded database summary — a few KB, independent of data scale — into
+// an HTTP data plane that regenerates big data volumes on demand, plus
+// the client that makes shard orchestration cluster-scale.
+//
+// Server side, two endpoints over one summary:
+//
+//	GET  /v1/tables/{table}?format=csv|jsonl|sql|heap&compress=gzip
+//	     &shard=i/N&offset=K&limit=M&rate=R
+//	     streams a resumable range scan straight from matgen's
+//	     zero-allocation encode pipeline. The bytes are exactly what a
+//	     local materialization writes (prefix/suffix thereof for
+//	     limited/resumed streams), chunk-flushed as they are produced,
+//	     SHA-256 in an HTTP trailer. Backpressure is the connection
+//	     itself: a slow client stalls encoding instead of buffering the
+//	     table in memory, and closing it cancels generation mid-chunk.
+//	GET  /v1/tables/{table}?...&info=1 returns the stream's geometry
+//	     (rows, alignment, chunk grid) as JSON without generating.
+//	POST /v1/shardjobs executes one full matgen ShardJob — the unit the
+//	     orchestrator schedules — and streams back the artifact bundle
+//	     (part files + manifest) as a tar stream whose contents carry
+//	     the manifest's SHA-256 checksums.
+//	GET  /v1/summary and GET /healthz describe the loaded summary
+//	     (including its digest) and liveness, for fleet management.
+//
+// Client side, RemoteRunner implements orchestrate.Runner over a fleet
+// of such servers: jobs round-robin across the fleet, fail over to the
+// next server on error with partial artifacts removed, and every
+// fetched file is re-hashed against its manifest checksum before the
+// job reports success — so hydra.Orchestrate runs unchanged against
+// remote machines and VerifyShards proves the assembled directory.
+//
+// Concurrency and pacing are first-class: -max-streams bounds the
+// number of in-flight streams and jobs (excess requests get 503 +
+// Retry-After, the signal a fleet scheduler wants), and -rate-limit
+// caps every stream's emit rate in rows/s via the shared token-bucket
+// limiter (internal/rate), which is what turns the server into a load
+// generator with a controllable rate.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/rate"
+	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// MaxStreams bounds concurrently running table streams plus shard
+	// jobs; further requests receive 503 with Retry-After. 0 means
+	// unlimited.
+	MaxStreams int
+	// RateLimit caps every stream's and job's emit rate in rows per
+	// second (0 = unlimited). Clients may request a lower rate with the
+	// rate query parameter / job field, never a higher one.
+	RateLimit float64
+	// Workers is the encode worker count for shard jobs whose request
+	// leaves workers unset; 0 means GOMAXPROCS.
+	Workers int
+	// BatchRows overrides matgen's batch granularity for requests that
+	// leave it unset.
+	BatchRows int
+	// Log receives per-request failures that can no longer reach the
+	// client (mid-stream errors). Nil disables logging.
+	Log *log.Logger
+}
+
+// Server regenerates one summary's relations over HTTP. It is an
+// http.Handler; wire it into any mux or server.
+type Server struct {
+	sum    *summary.Summary
+	opts   Options
+	digest string
+	mux    *http.ServeMux
+	slots  chan struct{}
+}
+
+// NewServer builds the data plane for one loaded summary.
+func NewServer(sum *summary.Summary, opts Options) (*Server, error) {
+	if sum == nil {
+		return nil, errors.New("serve: summary is required")
+	}
+	if opts.RateLimit != 0 {
+		if err := rate.Validate(opts.RateLimit); err != nil {
+			return nil, fmt.Errorf("serve: rate limit: %w", err)
+		}
+	}
+	if opts.MaxStreams < 0 {
+		return nil, fmt.Errorf("serve: max streams %d out of range", opts.MaxStreams)
+	}
+	digest, err := SummaryDigest(sum)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sum: sum, opts: opts, digest: digest}
+	if opts.MaxStreams > 0 {
+		s.slots = make(chan struct{}, opts.MaxStreams)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/tables/{table}", s.handleTable)
+	s.mux.HandleFunc("POST /v1/shardjobs", s.handleShardJob)
+	s.mux.HandleFunc("GET /v1/summary", s.handleSummary)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SummaryDigest returns the hex SHA-256 of the summary's canonical
+// serialization — the identity a fleet agrees on. A client embeds it in
+// job requests so a server loaded with a different summary refuses the
+// job instead of silently generating different data.
+func SummaryDigest(sum *summary.Summary) (string, error) {
+	h := sha256.New()
+	if _, err := sum.WriteTo(h); err != nil {
+		return "", fmt.Errorf("serve: digest: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// acquire takes a stream slot, answering 503 when the server is at
+// MaxStreams. The caller must release() iff acquire returned true.
+func (s *Server) acquire(w http.ResponseWriter) bool {
+	if s.slots == nil {
+		return true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("serve: %d concurrent streams already running", cap(s.slots)),
+			http.StatusServiceUnavailable)
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.slots != nil {
+		<-s.slots
+	}
+}
+
+// capRate resolves a client-requested rate against the server cap: the
+// client may slow a stream down, never speed it past the cap. Requests
+// are validated before they get here; the NaN/Inf guard is defense in
+// depth, since either would fail every comparison and escape the cap.
+func (s *Server) capRate(requested float64) float64 {
+	ceiling := s.opts.RateLimit
+	if requested <= 0 || math.IsNaN(requested) || math.IsInf(requested, 0) {
+		return ceiling
+	}
+	if ceiling > 0 && requested > ceiling {
+		return ceiling
+	}
+	return requested
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log.Printf(format, args...)
+	}
+}
+
+// SummaryInfo is the GET /v1/summary document.
+type SummaryInfo struct {
+	Digest string `json:"digest"`
+	// Relations maps table name to full-relation cardinality.
+	Relations map[string]int64 `json:"relations"`
+	TotalRows int64            `json:"total_rows"`
+	// Formats and Compressors list what the tables endpoint accepts.
+	Formats     []string `json:"formats"`
+	Compressors []string `json:"compressors"`
+	MaxStreams  int      `json:"max_streams,omitempty"`
+	RateLimit   float64  `json:"rate_limit,omitempty"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	info := SummaryInfo{
+		Digest:      s.digest,
+		Relations:   make(map[string]int64, len(s.sum.Relations)),
+		Compressors: matgen.CompressorNames(),
+		MaxStreams:  s.opts.MaxStreams,
+		RateLimit:   s.opts.RateLimit,
+	}
+	for name, rs := range s.sum.Relations {
+		info.Relations[name] = rs.Total
+		info.TotalRows += rs.Total
+	}
+	// Only streamable formats: discard has no byte stream to serve.
+	for _, name := range matgen.SinkNames() {
+		if name != "discard" {
+			info.Formats = append(info.Formats, name)
+		}
+	}
+	sort.Strings(info.Formats)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// parseShard parses the CLI-style 1-based "i/N" shard selector into the
+// 0-based (shard, shards) pair the engine uses.
+func parseShard(spec string) (shard, shards int, err error) {
+	if spec == "" {
+		return 0, 1, nil
+	}
+	i, n, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard wants i/N, got %q", spec)
+	}
+	pi, err1 := strconv.Atoi(i)
+	pn, err2 := strconv.Atoi(n)
+	if err1 != nil || err2 != nil || pi < 1 || pn < 1 || pi > pn {
+		return 0, 0, fmt.Errorf("shard wants i/N with 1 <= i <= N, got %q", spec)
+	}
+	return pi - 1, pn, nil
+}

@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+// testSummary mirrors matgen's fixture: two relations with FK spans,
+// small enough for exhaustive golden comparisons, large enough to spread
+// across shards and chunks at small batch sizes.
+func testSummary() *summary.Summary {
+	tRel := &summary.RelationSummary{
+		Table: "T", Cols: []string{"C"},
+		Rows: []summary.RelRow{
+			{Vals: []int64{2}, Count: 900},
+			{Vals: []int64{7}, Count: 613},
+		},
+		Total: 1513,
+	}
+	sRel := &summary.RelationSummary{
+		Table: "S", Cols: []string{"A", "B"}, FKCols: []string{"t_fk"}, FKRefs: []string{"T"},
+		Rows: []summary.RelRow{
+			{Vals: []int64{20, 15}, FKs: []int64{1}, FKSpans: []int64{900}, Count: 3001},
+			{Vals: []int64{20, 40}, FKs: []int64{901}, FKSpans: []int64{613}, Count: 2500},
+			{Vals: []int64{61, 15}, FKs: []int64{1}, FKSpans: []int64{900}, Count: 2707},
+		},
+		Total: 8208,
+	}
+	return &summary.Summary{Relations: map[string]*summary.RelationSummary{"S": sRel, "T": tRel}}
+}
+
+// newTestServer starts one regeneration server over the fixture.
+func newTestServer(t *testing.T, sum *summary.Summary, opts Options) *httptest.Server {
+	t.Helper()
+	s, err := NewServer(sum, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// fileFormats lists the servable formats (every sink that writes files).
+func fileFormats() []string {
+	var out []string
+	for _, name := range matgen.SinkNames() {
+		if name != "discard" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func compressName(c string) string {
+	if c == "" {
+		return "plain"
+	}
+	return c
+}
+
+// TestTableStreamGolden is the byte-equivalence acceptance: for every
+// format, plain and gzip, whole tables and shard pieces, the bytes
+// fetched over HTTP are identical to the files a local materialization
+// writes — and the SHA-256 trailer matches the body.
+func TestTableStreamGolden(t *testing.T) {
+	sum := testSummary()
+	ts := newTestServer(t, sum, Options{})
+	for _, format := range fileFormats() {
+		for _, compress := range []string{"", "gzip"} {
+			t.Run(format+"/"+compressName(compress), func(t *testing.T) {
+				dir := t.TempDir()
+				rep, err := matgen.Materialize(sum, matgen.Options{
+					Dir: dir, Format: format, Compress: compress, Workers: 2,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tr := range rep.Tables {
+					want, err := os.ReadFile(tr.Path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					url := fmt.Sprintf("%s/v1/tables/%s?format=%s", ts.URL, tr.Table, format)
+					if compress != "" {
+						url += "&compress=" + compress
+					}
+					resp, body := get(t, url)
+					if resp.StatusCode != http.StatusOK {
+						t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+					}
+					if !bytes.Equal(body, want) {
+						t.Fatalf("%s: fetched %d bytes != materialized %d bytes", tr.Table, len(body), len(want))
+					}
+					wantSum := sha256.Sum256(body)
+					if got := resp.Trailer.Get(TrailerSha256); got != hex.EncodeToString(wantSum[:]) {
+						t.Fatalf("%s: trailer %q != body sha256", tr.Table, got)
+					}
+					if got := resp.Header.Get(HeaderRows); got != fmt.Sprint(tr.Rows) {
+						t.Fatalf("%s: rows header %q, want %d", tr.Table, got, tr.Rows)
+					}
+				}
+
+				// Shard piece 2/3 must equal the corresponding part file.
+				dir = t.TempDir()
+				if _, err := matgen.Materialize(sum, matgen.Options{
+					Dir: dir, Format: format, Compress: compress, Workers: 2, Shards: 3, Shard: 1,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				entries, err := os.ReadDir(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range entries {
+					if strings.HasPrefix(e.Name(), "manifest-") {
+						continue
+					}
+					table, _, _ := strings.Cut(e.Name(), ".")
+					want, err := os.ReadFile(filepath.Join(dir, e.Name()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					url := fmt.Sprintf("%s/v1/tables/%s?format=%s&shard=2/3", ts.URL, table, format)
+					if compress != "" {
+						url += "&compress=" + compress
+					}
+					resp, body := get(t, url)
+					if resp.StatusCode != http.StatusOK {
+						t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+					}
+					if !bytes.Equal(body, want) {
+						t.Fatalf("%s: fetched shard piece != part file %s", table, e.Name())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTableStreamResume: a limited fetch plus a resumed fetch at the
+// same offset concatenate to the full fetch, byte-identically — gzip
+// included when the cut sits on the advertised chunk grid.
+func TestTableStreamResume(t *testing.T) {
+	ts := newTestServer(t, testSummary(), Options{})
+	for _, compress := range []string{"", "gzip"} {
+		t.Run(compressName(compress), func(t *testing.T) {
+			suffix := "&batch=128"
+			if compress != "" {
+				suffix += "&compress=" + compress
+			}
+			base := ts.URL + "/v1/tables/S?format=csv" + suffix
+			resp, full := get(t, base)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: %s", base, full)
+			}
+			var info matgen.StreamReport
+			_, infoBody := get(t, base+"&info=1")
+			if err := json.Unmarshal(infoBody, &info); err != nil {
+				t.Fatalf("info: %v (%s)", err, infoBody)
+			}
+			cut := 8 * info.ChunkRows
+			if cut >= info.Rows {
+				t.Fatalf("fixture too small: %d rows, chunk %d", info.Rows, info.ChunkRows)
+			}
+			_, head := get(t, fmt.Sprintf("%s&limit=%d", base, cut))
+			_, tail := get(t, fmt.Sprintf("%s&offset=%d", base, cut))
+			if got := append(head, tail...); !bytes.Equal(got, full) {
+				t.Fatalf("limit %d + offset %d != full stream (%d vs %d bytes)", cut, cut, len(got), len(full))
+			}
+		})
+	}
+}
+
+// TestTableStreamErrors maps each client mistake to its status code.
+func TestTableStreamErrors(t *testing.T) {
+	ts := newTestServer(t, testSummary(), Options{})
+	cases := map[string]struct {
+		path string
+		code int
+	}{
+		"unknown table":     {"/v1/tables/nope?format=csv", http.StatusNotFound},
+		"unknown format":    {"/v1/tables/S?format=parquet", http.StatusBadRequest},
+		"discard format":    {"/v1/tables/S?format=discard", http.StatusBadRequest},
+		"bad codec":         {"/v1/tables/S?format=csv&compress=lz77", http.StatusBadRequest},
+		"bad shard spec":    {"/v1/tables/S?shard=0/4", http.StatusBadRequest},
+		"shard gt width":    {"/v1/tables/S?shard=5/4", http.StatusBadRequest},
+		"bad offset":        {"/v1/tables/S?offset=x", http.StatusBadRequest},
+		"negative offset":   {"/v1/tables/S?offset=-3", http.StatusBadRequest},
+		"misaligned offset": {"/v1/tables/S?format=sql&offset=17", http.StatusBadRequest},
+		"bad rate":          {"/v1/tables/S?rate=-2", http.StatusBadRequest},
+		"NaN rate":          {"/v1/tables/S?rate=NaN", http.StatusBadRequest},
+		"Inf rate":          {"/v1/tables/S?rate=%2BInf", http.StatusBadRequest},
+		"denormal rate":     {"/v1/tables/S?rate=1e-300", http.StatusBadRequest},
+		"bad batch":         {"/v1/tables/S?batch=0", http.StatusBadRequest},
+		"wrong method":      {"/v1/shardjobs", http.StatusMethodNotAllowed},
+	}
+	for name, tc := range cases {
+		resp, body := get(t, ts.URL+tc.path)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: GET %s = %s (%s), want %d", name, tc.path, resp.Status, body, tc.code)
+		}
+	}
+}
+
+// TestSummaryAndHealth: the fleet-management endpoints describe the
+// loaded summary and its digest.
+func TestSummaryAndHealth(t *testing.T) {
+	sum := testSummary()
+	ts := newTestServer(t, sum, Options{MaxStreams: 7, RateLimit: 123})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz: %s %q", resp.Status, body)
+	}
+	var info SummaryInfo
+	resp, body = get(t, ts.URL+"/v1/summary")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary: %s", resp.Status)
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := SummaryDigest(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest != digest {
+		t.Fatalf("digest %q, want %q", info.Digest, digest)
+	}
+	if info.Relations["S"] != 8208 || info.Relations["T"] != 1513 || info.TotalRows != 9721 {
+		t.Fatalf("relations = %+v", info)
+	}
+	if info.MaxStreams != 7 || info.RateLimit != 123 {
+		t.Fatalf("limits = %+v", info)
+	}
+	for _, f := range info.Formats {
+		if f == "discard" {
+			t.Fatal("discard advertised as servable")
+		}
+	}
+}
+
+// TestMaxStreams: the MaxStreams-th+1 concurrent stream is refused with
+// 503 + Retry-After while a slow stream holds the only slot.
+func TestMaxStreams(t *testing.T) {
+	ts := newTestServer(t, testSummary(), Options{MaxStreams: 1})
+	// rate+batch make the stream slow enough to hold its slot (~16s
+	// worth), while the first chunk arrives quickly (~0.2s).
+	slow, err := http.Get(ts.URL + "/v1/tables/S?format=csv&rate=500&batch=128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Body.Close()
+	if slow.StatusCode != http.StatusOK {
+		t.Fatalf("slow stream: %s", slow.Status)
+	}
+	if _, err := io.ReadFull(slow.Body, make([]byte, 16)); err != nil {
+		t.Fatal(err) // the stream is live and holding its slot
+	}
+	resp, body := get(t, ts.URL+"/v1/tables/T?format=csv")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second stream: %s (%s), want 503", resp.Status, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// info=1 requests never consume a slot.
+	if resp, _ := get(t, ts.URL+"/v1/tables/T?format=csv&info=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("info during saturation: %s", resp.Status)
+	}
+	// Dropping the slow stream frees the slot again.
+	slow.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := get(t, ts.URL+"/v1/tables/T?format=csv")
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never released after client disconnect")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestTableStreamRateLimit: a client-requested rate paces the stream
+// within ±10%, and the server-side cap binds clients that ask for more.
+func TestTableStreamRateLimit(t *testing.T) {
+	sum := testSummary()
+	timedGet := func(ts *httptest.Server, url string) (rowsPerSec float64) {
+		t.Helper()
+		start := time.Now()
+		resp, body := get(t, ts.URL+url)
+		elapsed := time.Since(start).Seconds()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s (%s)", url, resp.Status, body)
+		}
+		rows := int64(bytes.Count(body, []byte("\n")))
+		return float64(rows) / elapsed
+	}
+	t.Run("client requested", func(t *testing.T) {
+		ts := newTestServer(t, sum, Options{})
+		const perSec = 1500.0 // T has 1513 rows: ~1s
+		got := timedGet(ts, "/v1/tables/T?format=csv&batch=128&rate=1500")
+		if got < perSec*0.9 || got > perSec*1.1 {
+			t.Fatalf("observed %.0f rows/s, requested %.0f (±10%%)", got, perSec)
+		}
+	})
+	t.Run("server cap", func(t *testing.T) {
+		ts := newTestServer(t, sum, Options{RateLimit: 1500})
+		got := timedGet(ts, "/v1/tables/T?format=csv&batch=128&rate=1000000")
+		if got > 1500*1.1 {
+			t.Fatalf("observed %.0f rows/s past the 1500 cap", got)
+		}
+	})
+}

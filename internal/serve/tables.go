@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/rate"
+)
+
+// Response headers and trailers of the tables endpoint. Geometry headers
+// are sent before the first byte; the checksum can only exist after the
+// last one, so it travels as an HTTP trailer.
+const (
+	HeaderRows      = "X-Hydra-Rows"
+	HeaderStartRow  = "X-Hydra-Start-Row"
+	HeaderTotalRows = "X-Hydra-Total-Rows"
+	HeaderAlign     = "X-Hydra-Align"
+	HeaderChunkRows = "X-Hydra-Chunk-Rows"
+	HeaderDigest    = "X-Hydra-Summary-Digest"
+	TrailerSha256   = "X-Hydra-Sha256"
+)
+
+// handleTable serves GET /v1/tables/{table}: a resumable, rate-limited
+// range scan streamed straight from the zero-allocation encode pipeline.
+// With info=1 it answers the stream's geometry as JSON instead — how a
+// client plans resume offsets without generating anything.
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	opts, err := streamOptionsFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	opts.RateLimit = s.capRate(opts.RateLimit)
+	if opts.BatchRows == 0 {
+		opts.BatchRows = s.opts.BatchRows
+	}
+	plan, err := matgen.PlanStream(s.sum, *opts)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, matgen.ErrStream) {
+			status = http.StatusBadRequest
+			if _, ok := s.sum.Relations[opts.Table]; !ok {
+				status = http.StatusNotFound
+			}
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	info := plan.Info()
+	if r.URL.Query().Get("info") == "1" {
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+
+	h := w.Header()
+	h.Set("Content-Type", contentType(info.Format, info.Compression))
+	h.Set(HeaderRows, strconv.FormatInt(info.Rows, 10))
+	h.Set(HeaderStartRow, strconv.FormatInt(info.StartRow, 10))
+	h.Set(HeaderTotalRows, strconv.FormatInt(info.TotalRows, 10))
+	h.Set(HeaderAlign, strconv.Itoa(info.Align))
+	h.Set(HeaderChunkRows, strconv.FormatInt(info.ChunkRows, 10))
+	h.Set(HeaderDigest, s.digest)
+	h.Set("Trailer", TrailerSha256)
+
+	// The stream tees into the hash for the trailer and flushes each
+	// chunk so bytes reach the client as they are produced. Writes block
+	// on the connection when the client is slow — that blocking is the
+	// backpressure that stalls encoding — and the request context
+	// cancels generation mid-table when the client goes away.
+	sum := sha256.New()
+	fw := &flushWriter{w: w, rc: http.NewResponseController(w)}
+	if _, err := plan.Run(r.Context(), io.MultiWriter(fw, sum)); err != nil {
+		s.logf("serve: GET %s: %v", r.URL.Path, err)
+		if fw.wrote == 0 {
+			// Nothing was committed yet: fail with a real status so
+			// status-checking clients don't record an empty stream as
+			// a successful scan.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Mid-stream the status line is long gone; the truncated body
+		// plus the missing trailer is the client's failure signal.
+		return
+	}
+	h.Set(TrailerSha256, hex.EncodeToString(sum.Sum(nil)))
+}
+
+// streamOptionsFromQuery maps the endpoint's query parameters onto
+// matgen.StreamOptions. Validation beyond syntax lives in matgen, which
+// tags client mistakes with ErrStream.
+func streamOptionsFromQuery(r *http.Request) (*matgen.StreamOptions, error) {
+	q := r.URL.Query()
+	opts := &matgen.StreamOptions{
+		Table:    r.PathValue("table"),
+		Format:   q.Get("format"),
+		Compress: q.Get("compress"),
+		FKSpread: q.Get("fkspread") == "1",
+	}
+	if opts.Format == "" {
+		opts.Format = "csv"
+	}
+	var err error
+	if opts.Shard, opts.Shards, err = parseShard(q.Get("shard")); err != nil {
+		return nil, err
+	}
+	for name, dst := range map[string]*int64{"offset": &opts.Offset, "limit": &opts.Limit} {
+		if v := q.Get(name); v != "" {
+			if *dst, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return nil, fmt.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+	if v := q.Get("rate"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rate wants a positive rows/s value, got %q", v)
+		}
+		// rate.Validate rejects NaN/Inf/zero/negatives/denormals — any
+		// of which would otherwise slip past numeric comparisons and
+		// disable both the pacing and the server's cap.
+		if err := rate.Validate(f); err != nil {
+			return nil, err
+		}
+		opts.RateLimit = f
+	}
+	if v := q.Get("batch"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("batch wants a positive row count, got %q", v)
+		}
+		opts.BatchRows = n
+	}
+	return opts, nil
+}
+
+// contentType maps the stream's format/codec to a media type. The codec
+// is part of the payload (the bytes are the .gz file), deliberately not
+// a transfer encoding: transparent decompression would break the
+// byte-identity with materialized part files.
+func contentType(format, compression string) string {
+	if compression == "gzip" {
+		return "application/gzip"
+	}
+	switch format {
+	case "csv":
+		return "text/csv; charset=utf-8"
+	case "jsonl":
+		return "application/x-ndjson"
+	case "sql":
+		return "application/sql; charset=utf-8"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// flushWriter pushes every chunk to the client as soon as it is
+// written and tracks whether anything has been committed (an error
+// before the first byte can still become a real status code). Flush
+// errors on connections that do not support it are ignored; real write
+// errors surface through Write itself.
+type flushWriter struct {
+	w     io.Writer
+	rc    *http.ResponseController
+	wrote int64
+}
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	f.wrote += int64(n)
+	if err == nil && f.rc != nil {
+		if ferr := f.rc.Flush(); ferr != nil && !errors.Is(ferr, http.ErrNotSupported) {
+			return n, ferr
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,71 @@
+package hydra
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+
+	"github.com/dsl-repro/hydra/internal/serve"
+)
+
+// Regeneration as a service: internal/serve exposes a loaded summary as
+// an HTTP data plane — resumable rate-limited table streams plus a
+// shard-job endpoint that returns verified artifact bundles — and
+// RemoteRunner, the orchestrate.Runner that executes shard jobs on a
+// fleet of such servers. This facade re-exports both so a cluster-scale
+// regeneration fleet is three calls: Serve on each machine,
+// NewRemoteRunner over their URLs, Orchestrate with that runner.
+type (
+	// ServeOptions tunes the server: concurrent-stream bound, per-stream
+	// rows/s cap, default encode workers and batch size.
+	ServeOptions = serve.Options
+	// RemoteRunner executes orchestrate shard jobs on a serve fleet,
+	// round-robinning with per-job failover; plug it into
+	// OrchestrateOptions.Runner.
+	RemoteRunner = serve.RemoteRunner
+	// RemoteRunnerOptions tunes the fleet client (HTTP client, attempts
+	// per job, worker override, summary-digest guard).
+	RemoteRunnerOptions = serve.RunnerOptions
+)
+
+// NewServeHandler returns the HTTP data plane for one summary, ready to
+// mount on any mux or server: GET /v1/tables/{table} range scans,
+// POST /v1/shardjobs artifact bundles, GET /v1/summary, GET /healthz.
+func NewServeHandler(s *Summary, opts ServeOptions) (http.Handler, error) {
+	return serve.NewServer(s, opts)
+}
+
+// Serve runs the regeneration server on addr until ctx is canceled,
+// then drains gracefully. It is the programmatic `hydra serve`.
+func Serve(ctx context.Context, addr string, s *Summary, opts ServeOptions) error {
+	h, err := NewServeHandler(s, opts)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: h,
+		BaseContext: func(net.Listener) context.Context {
+			return ctx
+		},
+	}
+	done := make(chan error, 1)
+	stop := context.AfterFunc(ctx, func() {
+		done <- srv.Shutdown(context.Background())
+	})
+	defer stop()
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
+}
+
+// NewRemoteRunner builds the fleet client over the servers' base URLs.
+// The returned runner implements OrchestrateRunner, so
+// Orchestrate(ctx, sum, OrchestrateOptions{..., Runner: r}) schedules,
+// retries, and verifies exactly as in-process — execution just happens
+// on the fleet, and VerifyShards re-hashes the fetched artifacts.
+func NewRemoteRunner(servers []string, opts RemoteRunnerOptions) (*RemoteRunner, error) {
+	return serve.NewRemoteRunner(servers, opts)
+}
