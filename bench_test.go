@@ -18,6 +18,7 @@
 package hydra_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -321,6 +322,76 @@ func BenchmarkServeStream(b *testing.B) {
 			}
 			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
 			b.ReportMetric(float64(payload)/1e6/b.Elapsed().Seconds(), "MB/s")
+		})
+	}
+}
+
+// BenchmarkScan measures the unified read path's throughput per
+// backend: draining one store_sales scan from the summary (pure
+// generation), a materialized csv directory (decode + lazy checksum
+// verify), and a loopback serve fleet (stream + decode). rows/s is the
+// figure of merit; the summary backend is the ceiling the readers are
+// chasing.
+func BenchmarkScan(b *testing.B) {
+	e := getEnv(b)
+	res, err := hydra.Regenerate(e.schema, e.wls, hydra.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const table = "store_sales"
+	rows := res.Summary.Relations[table].Total
+
+	dir := b.TempDir()
+	if _, err := hydra.Materialize(res.Summary, hydra.MaterializeOptions{
+		Dir: dir, Format: "csv",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	dirSrc, err := hydra.OpenDirSource(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := serve.NewServer(res.Summary, serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	remoteSrc, err := hydra.NewRemoteSource([]string{ts.URL}, hydra.RemoteSourceOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	backends := []struct {
+		name string
+		src  hydra.Source
+	}{
+		{"summary", hydra.NewSummarySource(res.Summary)},
+		{"dir", dirSrc},
+		{"remote", remoteSrc},
+	}
+	for _, tc := range backends {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc, err := tc.src.Scan(context.Background(), hydra.ScanSpec{Table: table})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var got int64
+				for sc.Next() {
+					got += int64(sc.Batch().N)
+				}
+				if err := sc.Err(); err != nil {
+					b.Fatal(err)
+				}
+				sc.Close()
+				if got != rows {
+					b.Fatalf("scanned %d rows, want %d", got, rows)
+				}
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
 }

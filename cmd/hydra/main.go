@@ -30,6 +30,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"text/tabwriter"
@@ -64,6 +66,8 @@ func main() {
 		err = cmdOrchestrate(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "scan":
+		err = cmdScan(os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
 	case "demo":
@@ -94,9 +98,24 @@ usage:
                     [-runners http://a,http://b] [-verify-only]
   hydra serve       -summary summary.json [-addr 127.0.0.1:8372] [-max-streams N]
                     [-rate-limit rows/s] [-workers K]
+  hydra scan        -table T (-summary summary.json | -dir out/ | -remote http://a,http://b)
+                    [-columns a,b] [-range A:B] [-shard i/N] [-format csv|jsonl|sql|heap]
+                    [-batch N] [-rate rows/s] [-fkspread] [-timeout d] [-o file]
   hydra generate    -summary summary.json -table T [-n 10] [-from 1]
   hydra demo
 `)
+}
+
+// timeoutContext returns a signal-aware context, deadline-bounded when
+// timeout is positive — the CLI's one way to make any long-running verb
+// abortable.
+func timeoutContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() { cancel(); stop() }
 }
 
 func loadInputs(schemaPath, workloadPath string) (*hydra.Schema, *hydra.Workload, error) {
@@ -120,6 +139,7 @@ func cmdSummarize(args []string) error {
 	workloadPath := fs.String("workload", "", "workload JSON")
 	out := fs.String("out", "summary.json", "output summary path")
 	strict := fs.Bool("strict", false, "fail on inconsistent CCs instead of best effort")
+	timeout := fs.Duration("timeout", 0, "abort regeneration after this long (0 = none)")
 	fs.Parse(args)
 	if *schemaPath == "" || *workloadPath == "" {
 		return fmt.Errorf("summarize: -schema and -workload are required")
@@ -128,7 +148,9 @@ func cmdSummarize(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := hydra.Regenerate(s, w, hydra.Config{Strict: *strict})
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	res, err := hydra.RegenerateContext(ctx, s, w, hydra.Config{Strict: *strict})
 	if err != nil {
 		return err
 	}
@@ -147,6 +169,7 @@ func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	schemaPath := fs.String("schema", "", "schema JSON")
 	workloadPath := fs.String("workload", "", "workload JSON")
+	timeout := fs.Duration("timeout", 0, "abort regeneration after this long (0 = none)")
 	fs.Parse(args)
 	if *schemaPath == "" || *workloadPath == "" {
 		return fmt.Errorf("validate: -schema and -workload are required")
@@ -155,7 +178,9 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := hydra.Regenerate(s, w, hydra.Config{})
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	res, err := hydra.RegenerateContext(ctx, s, w, hydra.Config{})
 	if err != nil {
 		return err
 	}
@@ -280,6 +305,7 @@ func cmdOrchestrate(args []string) error {
 	spread := fs.Bool("fkspread", false, "spread FKs round-robin within referenced spans")
 	runners := fs.String("runners", "", "comma-separated serve URLs; shards execute on this fleet instead of in-process")
 	verifyOnly := fs.Bool("verify-only", false, "skip generation; verify the manifests and files already in -dir")
+	timeout := fs.Duration("timeout", 0, "abort the whole orchestration after this long (0 = none)")
 	fs.Parse(args)
 	if *sumPath == "" {
 		return fmt.Errorf("orchestrate: -summary is required")
@@ -344,7 +370,9 @@ func cmdOrchestrate(args []string) error {
 		}
 		fmt.Printf("dispatching %d shards to %d runner(s): %s\n", *shards, len(urls), strings.Join(runner.Servers(), ", "))
 	}
-	res, err := hydra.Orchestrate(context.Background(), sum, opts)
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	res, err := hydra.Orchestrate(ctx, sum, opts)
 	if res != nil {
 		for _, sr := range res.Shards {
 			if sr.Report == nil {
@@ -428,6 +456,139 @@ func printVerification(vr *hydra.ShardVerifyReport) {
 		vr.Shards, vr.FilesHashed, float64(vr.BytesHashed)/1e6)
 }
 
+// cmdScan is the unified read path's CLI face: the same -table/-range/
+// -columns scan against any backend — a summary file, a materialized
+// directory, or a serve fleet — with byte-identical output, encoded in
+// any materialization format.
+func cmdScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	sumPath := fs.String("summary", "", "summary JSON: generate batches in-process")
+	dir := fs.String("dir", "", "materialized directory: decode part files (checksums verified lazily)")
+	remote := fs.String("remote", "", "comma-separated serve URLs: stream from the fleet with failover")
+	table := fs.String("table", "", "relation to scan (required)")
+	columns := fs.String("columns", "", "comma-separated column projection (default all, tuple order)")
+	rng := fs.String("range", "", "pk range A:B, 1-based inclusive; either side may be omitted")
+	shardSpec := fs.String("shard", "", "scan only piece i/N of the range, 1-based (e.g. 2/4)")
+	format := fs.String("format", "csv", "output encoding: csv|jsonl|sql|heap")
+	batch := fs.Int("batch", 0, "rows per batch (0 = default)")
+	rateLimit := fs.Float64("rate", 0, "cap the scan at rows/s (0 = unlimited)")
+	spread := fs.Bool("fkspread", false, "spread FKs round-robin within referenced spans (must match -dir materialization)")
+	timeout := fs.Duration("timeout", 0, "abort the scan after this long (0 = none)")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *table == "" {
+		return fmt.Errorf("scan: -table is required")
+	}
+	spec := hydra.ScanSpec{
+		Table:     *table,
+		BatchRows: *batch,
+		RateLimit: *rateLimit,
+		FKSpread:  *spread,
+	}
+	if *columns != "" {
+		for _, name := range strings.Split(*columns, ",") {
+			spec.Columns = append(spec.Columns, strings.TrimSpace(name))
+		}
+	}
+	if *rng != "" {
+		lo, hi, ok := strings.Cut(*rng, ":")
+		if !ok {
+			return fmt.Errorf("scan: -range wants A:B, got %q", *rng)
+		}
+		var err error
+		if lo != "" {
+			if spec.StartPK, err = strconv.ParseInt(lo, 10, 64); err != nil {
+				return fmt.Errorf("scan: -range start: %v", err)
+			}
+		}
+		if hi != "" {
+			if spec.EndPK, err = strconv.ParseInt(hi, 10, 64); err != nil {
+				return fmt.Errorf("scan: -range end: %v", err)
+			}
+		}
+	}
+	if *shardSpec != "" {
+		var i, n int
+		var tail string
+		cnt, err := fmt.Sscanf(*shardSpec, "%d/%d%s", &i, &n, &tail)
+		if err != io.EOF || cnt != 2 || i < 1 || n < 1 || i > n {
+			return fmt.Errorf("scan: -shard wants i/N with 1 <= i <= N, got %q", *shardSpec)
+		}
+		spec.Shard, spec.Shards = i-1, n
+	}
+
+	backends := 0
+	for _, set := range []bool{*sumPath != "", *dir != "", *remote != ""} {
+		if set {
+			backends++
+		}
+	}
+	if backends != 1 {
+		return fmt.Errorf("scan: exactly one of -summary, -dir, -remote selects the backend")
+	}
+	var src hydra.Source
+	switch {
+	case *sumPath != "":
+		sum, err := summary.Load(*sumPath)
+		if err != nil {
+			return err
+		}
+		src = hydra.NewSummarySource(sum)
+	case *dir != "":
+		ds, err := hydra.OpenDirSource(*dir)
+		if err != nil {
+			return err
+		}
+		src = ds
+	default:
+		var urls []string
+		for _, u := range strings.Split(*remote, ",") {
+			urls = append(urls, strings.TrimSpace(u))
+		}
+		rs, err := hydra.NewRemoteSource(urls, hydra.RemoteSourceOptions{})
+		if err != nil {
+			return err
+		}
+		src = rs
+	}
+	defer src.Close()
+
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	bw := bufio.NewWriterSize(out, 1<<20)
+	start := time.Now()
+	sc, err := src.Scan(ctx, spec)
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	rows, err := hydra.EncodeScan(bw, sc, *format)
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	perSec := float64(0)
+	if elapsed > 0 {
+		perSec = float64(rows) / elapsed.Seconds()
+	}
+	fmt.Fprintf(os.Stderr, "scanned %d rows of %s in %v (%.0f rows/sec, format %s)\n",
+		rows, *table, elapsed.Round(time.Millisecond), perSec, *format)
+	return nil
+}
+
 func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	sumPath := fs.String("summary", "", "summary JSON")
@@ -442,21 +603,38 @@ func cmdGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	gen, err := hydra.NewGenerator(sum, *table)
+	// The unified read path serves the row sample too; `hydra scan` is
+	// the full-featured version of this verb.
+	if *from < 1 {
+		*from = 1
+	}
+	src := hydra.NewSummarySource(sum)
+	info, err := src.Table(*table)
 	if err != nil {
 		return err
 	}
-	fmt.Println(strings.Join(gen.ColNames(), "\t"))
-	var buf []int64
-	for pk := *from; pk < *from+*n && pk <= gen.NumRows(); pk++ {
-		buf = gen.Row(pk, buf)
-		cells := make([]string, len(buf))
-		for i, v := range buf {
-			cells[i] = fmt.Sprintf("%d", v)
-		}
-		fmt.Println(strings.Join(cells, "\t"))
+	fmt.Println(strings.Join(info.Cols, "\t"))
+	if *n <= 0 {
+		return nil
 	}
-	return nil
+	sc, err := src.Scan(context.Background(), hydra.ScanSpec{
+		Table: *table, StartPK: *from, EndPK: *from + *n - 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	cells := make([]string, len(info.Cols))
+	for sc.Next() {
+		b := sc.Batch()
+		for i := 0; i < b.N; i++ {
+			for c := range b.Cols {
+				cells[c] = strconv.FormatInt(b.Cols[c][i], 10)
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+	}
+	return sc.Err()
 }
 
 // cmdDemo runs the paper's Figure 1 toy scenario end to end, printing the

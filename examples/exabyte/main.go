@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -75,19 +76,34 @@ func main() {
 	fmt.Printf("summary for the exabyte database built in %v — %d rows, ~%d bytes\n",
 		time.Since(start).Round(time.Millisecond), res.Summary.NumRows(), res.Summary.SizeBytes())
 
-	// Dynamic regeneration: fetch tuples from deep inside the exabyte
-	// fact table without materializing anything.
-	gen, err := hydra.NewGenerator(res.Summary, "store_sales")
+	// Dynamic regeneration through the unified read path: scan batches
+	// from deep inside the exabyte fact table without materializing
+	// anything — the same Source.Scan call would read a materialized
+	// directory or a serve fleet.
+	src := hydra.NewSummarySource(res.Summary)
+	info, err := src.Table("store_sales")
 	if err != nil {
 		log.Fatal(err)
 	}
-	n := gen.NumRows()
-	fmt.Printf("\n|store_sales| = %d; sampling tuples on the fly:\n", n)
-	var buf []int64
+	n := info.Rows
+	fmt.Printf("\n|store_sales| = %d; scanning batches on the fly:\n", n)
 	for _, pk := range []int64{1, n / 2, n - 1} {
 		start := time.Now()
-		buf = gen.Row(pk, buf)
-		fmt.Printf("  row %-22d fetched in %-10v prefix=%v\n", pk, time.Since(start), buf[:4])
+		sc, err := src.Scan(context.Background(), hydra.ScanSpec{
+			Table: "store_sales", StartPK: pk, EndPK: pk + 3, BatchRows: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for sc.Next() {
+			b := sc.Batch()
+			fmt.Printf("  rows %-22d fetched in %-10v first-row prefix=[%d %d %d %d]\n",
+				pk, time.Since(start), b.Cols[0][0], b.Cols[1][0], b.Cols[2][0], b.Cols[3][0])
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatal(err)
+		}
+		sc.Close()
 	}
 
 	// Volumetric check at scale.

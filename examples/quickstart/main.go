@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -68,19 +69,30 @@ func main() {
 	fmt.Printf("summary built in %v: %d summary rows standing in for %d tuples (~%d bytes)\n\n",
 		time.Since(start).Round(time.Millisecond), res.Summary.NumRows(), 80000+700+1500, res.Summary.SizeBytes())
 
-	// 4. Dynamic generation (§6): tuples materialize on demand — here the
-	// first three rows of S and rows around the 120th (the paper's §6
-	// example: row 120 of S is ⟨120, 20, 15⟩-shaped).
-	gen, err := hydra.NewGenerator(res.Summary, "S")
+	// 4. Dynamic generation (§6) through the unified read path: open the
+	// summary as a Source and pull column-major batches — the same
+	// Source.Scan works unchanged over a materialized directory
+	// (hydra.OpenDirSource) or a serve fleet (hydra.NewRemoteSource).
+	// Here: rows 118-122 of S (the paper's §6 example: row 120 of S is
+	// ⟨120, 20, 15⟩-shaped).
+	src := hydra.NewSummarySource(res.Summary)
+	sc, err := src.Scan(context.Background(), hydra.ScanSpec{
+		Table: "S", StartPK: 118, EndPK: 122,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("dynamically generated S tuples:")
-	var buf []int64
-	for _, pk := range []int64{1, 2, 3, 120, 700} {
-		buf = gen.Row(pk, buf)
-		fmt.Printf("  pk=%-4d  A=%-4d B=%-4d\n", buf[0], buf[1], buf[2])
+	for sc.Next() {
+		b := sc.Batch()
+		for i := 0; i < b.N; i++ {
+			fmt.Printf("  pk=%-4d  A=%-4d B=%-4d\n", b.Cols[0][i], b.Cols[1][i], b.Cols[2][i])
+		}
 	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	sc.Close()
 
 	// 5. Validate volumetric similarity: every CC must hold exactly.
 	reports, err := res.Evaluate(workload)

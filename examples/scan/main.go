@@ -1,0 +1,136 @@
+// Scan: the unified read path over all three backends.
+//
+// One ScanSpec — table, projection, pk range, batch size — is executed
+// against regenerated data living in three different places:
+//
+//  1. the summary itself (hydra.NewSummarySource) — the paper's dynamic
+//     regeneration: batches generated on demand, nothing materialized;
+//  2. a materialized shard directory (hydra.OpenDirSource) — part files
+//     decoded against their manifests, checksums verified lazily;
+//  3. a regeneration server fleet (hydra.NewRemoteSource) — streamed
+//     with the projection pushed down to the server's encoders.
+//
+// The three batch sequences are identical, which the example proves by
+// encoding each scan to csv and comparing bytes. That conformance is
+// what lets a query engine or benchmark driver bind to hydra.Source
+// once and switch backends by configuration.
+//
+// Run with: go run ./examples/scan
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	hydra "github.com/dsl-repro/hydra"
+	"github.com/dsl-repro/hydra/internal/pred"
+)
+
+func main() {
+	// A small scenario: the Figure 1 schema with its seven constraints.
+	schema := hydra.MustSchema(
+		&hydra.Table{Name: "S", Cols: []hydra.Column{
+			{Name: "A", Min: 0, Max: 100},
+			{Name: "B", Min: 0, Max: 50},
+		}, RowCount: 700},
+		&hydra.Table{Name: "T", Cols: []hydra.Column{
+			{Name: "C", Min: 0, Max: 10},
+		}, RowCount: 1500},
+		&hydra.Table{Name: "R", FKs: []hydra.ForeignKey{
+			{FKCol: "S_fk", Ref: "S"},
+			{FKCol: "T_fk", Ref: "T"},
+		}, RowCount: 80000},
+	)
+	sa := hydra.AttrRef{Table: "S", Col: "A"}
+	w := &hydra.Workload{Name: "scan-demo", CCs: []hydra.CC{
+		{Root: "R", Pred: pred.True(), Count: 80000, Name: "|R|"},
+		{Root: "S", Pred: pred.True(), Count: 700, Name: "|S|"},
+		{Root: "T", Pred: pred.True(), Count: 1500, Name: "|T|"},
+		{Root: "R", Attrs: []hydra.AttrRef{sa},
+			Pred:  pred.DNF{Terms: []pred.Conjunct{pred.NewConjunct().With(0, pred.Range(20, 59))}},
+			Count: 50000, Name: "|R⋈σ(S)|"},
+	}}
+	res, err := hydra.Regenerate(schema, w, hydra.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Backend 2 needs a materialized directory...
+	dir, err := os.MkdirTemp("", "hydra-scan-demo-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if _, err := hydra.Materialize(res.Summary, hydra.MaterializeOptions{
+		Dir: dir, Format: "csv", Shards: 2,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := hydra.Materialize(res.Summary, hydra.MaterializeOptions{
+		Dir: dir, Format: "csv", Shards: 2, Shard: 1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// ...and backend 3 a running server.
+	h, err := hydra.NewServeHandler(res.Summary, hydra.ServeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go http.Serve(ln, h) //nolint:errcheck // demo server dies with the process
+
+	dirSrc, err := hydra.OpenDirSource(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remoteSrc, err := hydra.NewRemoteSource([]string{"http://" + ln.Addr().String()}, hydra.RemoteSourceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One spec, three backends: project two columns of R, rows
+	// 10000-29999, in 4096-row batches.
+	spec := hydra.ScanSpec{
+		Table:   "R",
+		Columns: []string{"R_pk", "S_fk"},
+		StartPK: 10000, EndPK: 29999,
+		BatchRows: 4096,
+	}
+	outputs := map[string][]byte{}
+	for _, backend := range []struct {
+		name string
+		src  hydra.Source
+	}{
+		{"summary", hydra.NewSummarySource(res.Summary)},
+		{"dir", dirSrc},
+		{"remote", remoteSrc},
+	} {
+		sc, err := backend.src.Scan(context.Background(), spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		rows, err := hydra.EncodeScan(&buf, sc, "csv")
+		sc.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		outputs[backend.name] = buf.Bytes()
+		fmt.Printf("%-8s backend: %6d rows, %7d bytes, cols %v\n",
+			backend.name, rows, buf.Len(), sc.Cols())
+	}
+	if !bytes.Equal(outputs["summary"], outputs["dir"]) || !bytes.Equal(outputs["summary"], outputs["remote"]) {
+		log.Fatal("backends disagree!")
+	}
+	fmt.Println("all three backends produced byte-identical scans ✓")
+}

@@ -20,9 +20,14 @@
 //	core        per-view LP formulation and solving
 //	summary     align/merge, referential consistency, relation summaries
 //	tuplegen    dynamic tuple generation (the engine-side "datagen" scan)
+//	matgen      parallel sharded materialization into pluggable sinks
+//	serve       the HTTP data plane and fleet runner
+//	scan        the unified Source/Scan read path over summaries,
+//	            materialized directories, and serve fleets
 package hydra
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -109,8 +114,22 @@ type Result struct {
 
 // Regenerate runs the full vendor-side pipeline of Fig. 2: preprocess the
 // CCs into views, formulate and solve one LP per view using region
-// partitioning, and build the database summary.
+// partitioning, and build the database summary. It is RegenerateContext
+// without cancellation.
 func Regenerate(s *Schema, w *Workload, cfg Config) (*Result, error) {
+	return RegenerateContext(context.Background(), s, w, cfg)
+}
+
+// RegenerateContext is Regenerate under a cancellation context, making
+// the vendor-side pipeline abortable like every other facade entry
+// point. Cancellation is observed between pipeline stages and between
+// per-view LP solves — the granularity at which the pipeline makes
+// progress — so a timed-out regeneration returns the context's error
+// promptly instead of finishing a run nobody will read.
+func RegenerateContext(ctx context.Context, s *Schema, w *Workload, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	if err := w.Validate(s); err != nil {
 		return nil, fmt.Errorf("hydra: %w", err)
@@ -127,6 +146,9 @@ func Regenerate(s *Schema, w *Workload, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	for _, t := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hydra: %w", err)
+		}
 		v := views[t.Name]
 		sol, err := core.FormulateAndSolve(v, opts)
 		if err != nil {
@@ -135,6 +157,9 @@ func Regenerate(s *Schema, w *Workload, cfg Config) (*Result, error) {
 		sols[t.Name] = sol
 		res.TotalVars += sol.Stats.Vars
 		res.SolveTime += sol.Stats.SolveTime
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("hydra: %w", err)
 	}
 	sum, err := summary.Build(s, views, sols)
 	if err != nil {
@@ -152,7 +177,11 @@ func (r *Result) Evaluate(w *Workload) ([]CCReport, error) {
 }
 
 // NewGenerator returns the dynamic tuple generator for one relation of the
-// summary.
+// summary — the raw row-at-a-time engine primitive. New consumers should
+// prefer the Source/Scan read path (NewSummarySource(s).Scan(...)), which
+// wraps the same generator in columnar batches with projection, pk
+// ranges, shard splits, rate limiting, and cancellation, and works
+// identically over materialized directories and serve fleets.
 func NewGenerator(s *Summary, table string) (*Generator, error) {
 	rs, ok := s.Relations[table]
 	if !ok {

@@ -96,6 +96,15 @@ type Options struct {
 	Shard  int
 	// Tables restricts materialization to a subset (all when nil).
 	Tables []string
+	// Columns projects the output onto a subset of columns, in the order
+	// given (nil means every column in tuple order: pk, non-key columns,
+	// FKs). Projection is pushed down to the encoder layer: only the
+	// selected columns are generated and encoded, and the layout every
+	// sink sees (csv header, jsonl keys, SQL column list, heap page
+	// geometry) is the projected one. All determinism guarantees hold
+	// per projection; projected output is its own byte-stable format,
+	// not a substring of the full-width one.
+	Columns []string
 	// BatchRows overrides DefaultBatchRows.
 	BatchRows int
 	// FKSpread enables tuplegen's spread-FK extension (round-robin FKs
@@ -117,6 +126,10 @@ type TableReport struct {
 	Table string `json:"table"`
 	// Path is the file this shard wrote (empty for the discard sink).
 	Path string `json:"path,omitempty"`
+	// Cols are the output column names in encoded order — the full tuple
+	// layout normally, the projected one under Options.Columns. Readers
+	// (internal/scan's DirSource) decode against this list.
+	Cols []string `json:"cols,omitempty"`
 	// StartRow is the absolute 0-based offset of this shard's first row;
 	// the shard covers rows [StartRow, StartRow+Rows).
 	StartRow int64 `json:"start_row"`
@@ -392,6 +405,7 @@ type tableTask struct {
 	idx       int
 	g         *tuplegen.Generator
 	l         Layout
+	proj      []int // tuple-order indices of the projected columns; nil = all
 	rng       Range
 	cRows     int64 // rows per chunk, an align multiple
 	batchRows int
@@ -399,12 +413,25 @@ type tableTask struct {
 	err       error
 }
 
-// newTableTask resolves one relation's layout, alignment, shard range,
-// chunk geometry, and output path.
+// newTableTask resolves one relation's layout (projected when
+// Options.Columns is set), alignment, shard range, chunk geometry, and
+// output path.
 func newTableTask(rs *summary.RelationSummary, sink Sink, comp Compressor, opts Options) (*tableTask, error) {
 	g := tuplegen.New(rs)
 	g.SetFKSpread(opts.FKSpread)
-	l := Layout{Table: rs.Table, Cols: g.ColNames(), TotalRows: g.NumRows()}
+	proj, err := g.Project(opts.Columns)
+	if err != nil {
+		return nil, err
+	}
+	cols := g.ColNames()
+	if proj != nil {
+		projected := make([]string, len(proj))
+		for i, src := range proj {
+			projected[i] = cols[src]
+		}
+		cols = projected
+	}
+	l := Layout{Table: rs.Table, Cols: cols, TotalRows: g.NumRows()}
 	align, err := sink.Align(len(l.Cols))
 	if err != nil {
 		return nil, err
@@ -418,10 +445,11 @@ func newTableTask(rs *summary.RelationSummary, sink Sink, comp Compressor, opts 
 		chunkBatch = CompressChunkRows
 	}
 	t := &tableTask{
-		g: g, l: l, rng: rng,
+		g: g, l: l, proj: proj, rng: rng,
 		cRows:     chunkRows(chunkBatch, align),
 		batchRows: opts.BatchRows,
-		tr:        TableReport{Table: rs.Table, StartRow: rng.Lo, Rows: rng.Rows(), TotalRows: l.TotalRows},
+		tr: TableReport{Table: rs.Table, Cols: l.Cols,
+			StartRow: rng.Lo, Rows: rng.Rows(), TotalRows: l.TotalRows},
 	}
 	if sink.Ext() != "" {
 		compExt := ""
@@ -497,14 +525,17 @@ func writeFramed(w io.Writer, comp Compressor, p []byte) error {
 	return err
 }
 
-// encodeChunk renders rows [lo, hi) through enc into dst. When the
-// encoder understands run structure the summary-row spans are encoded
-// directly — no column batch is materialized at all; otherwise the rows
-// are generated batch-wise and encoded value by value. Both paths yield
-// identical bytes because encoding is a pure function of layout, values,
-// and absolute offsets.
-func encodeChunk(g *tuplegen.Generator, enc Encoder, se SpanEncoder, b *tuplegen.Batch, dst []byte, lo, hi int64, batchRows int) []byte {
-	if se != nil {
+// encodeChunk renders rows [lo, hi) of t through enc into dst. When the
+// encoder understands run structure and no projection is active, the
+// summary-row spans are encoded directly — no column batch is
+// materialized at all; otherwise the rows are generated batch-wise
+// (projected batches under Options.Columns, whose column set matches the
+// encoder's projected layout) and encoded value by value. The paths
+// yield identical bytes for the same layout because encoding is a pure
+// function of layout, values, and absolute offsets.
+func encodeChunk(t *tableTask, enc Encoder, se SpanEncoder, b *tuplegen.Batch, dst []byte, lo, hi int64) []byte {
+	g := t.g
+	if se != nil && t.proj == nil {
 		it := g.Spans(lo+1, hi-lo)
 		for sp, ok := it.Next(); ok; sp, ok = it.Next() {
 			dst = se.AppendSpan(dst, sp)
@@ -512,11 +543,11 @@ func encodeChunk(g *tuplegen.Generator, enc Encoder, se SpanEncoder, b *tuplegen
 		return dst
 	}
 	for off := lo; off < hi; {
-		n := int64(batchRows)
+		n := int64(t.batchRows)
 		if off+n > hi {
 			n = hi - off
 		}
-		g.Batch(off+1, int(n), b)
+		g.BatchCols(off+1, int(n), b, t.proj)
 		dst = enc.AppendBatch(dst, b, off)
 		off += n
 	}
@@ -555,7 +586,7 @@ func sequentialEncodeTable(ctx context.Context, t *tableTask, sink Sink, comp Co
 			if err := lim.WaitN(ctx, hi-lo); err != nil {
 				return raw, err
 			}
-			*buf = encodeChunk(t.g, enc, se, b, (*buf)[:0], lo, hi, t.batchRows)
+			*buf = encodeChunk(t, enc, se, b, (*buf)[:0], lo, hi)
 			raw += int64(len(*buf))
 			if err := writeFramed(w, comp, *buf); err != nil {
 				return raw, err
@@ -626,7 +657,7 @@ func materializePool(ctx context.Context, tasks []*tableTask, sink Sink, comp Co
 					spanEncs[j.ti], _ = encs[j.ti].(SpanEncoder)
 				}
 				buf := getChunkBuf()
-				*buf = encodeChunk(t.g, encs[j.ti], spanEncs[j.ti], b, (*buf)[:0], j.lo, j.hi, t.batchRows)
+				*buf = encodeChunk(t, encs[j.ti], spanEncs[j.ti], b, (*buf)[:0], j.lo, j.hi)
 				res := chunkResult{buf: buf, raw: int64(len(*buf)), rows: j.hi - j.lo}
 				// An empty encoding produces no frame and no write,
 				// mirroring writeFramed on the sequential path, so

@@ -111,6 +111,9 @@ func SinkNames() []string {
 	return append([]string(nil), sinkName...)
 }
 
+// SinkFor resolves a registered sink by format name.
+func SinkFor(name string) (Sink, error) { return sinkFor(name) }
+
 func sinkFor(name string) (Sink, error) {
 	sinkMu.RLock()
 	defer sinkMu.RUnlock()

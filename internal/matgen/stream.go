@@ -52,6 +52,14 @@ type StreamOptions struct {
 	FKSpread bool
 	// RateLimit paces this stream in rows per second (0 = unlimited).
 	RateLimit float64
+	// Columns projects the stream onto a subset of columns, in the order
+	// given (nil = every column). The projection is pushed down to the
+	// encoder layer — only selected columns are generated and encoded —
+	// and changes the stream's layout: header, alignment, and chunk grid
+	// are those of the projected column set, so a projected stream is
+	// byte-identical to a materialization with the same Columns, not a
+	// substring of the full-width file.
+	Columns []string
 }
 
 // StreamReport describes one stream: its geometry (known before any
@@ -69,6 +77,10 @@ type StreamReport struct {
 	Rows int64 `json:"rows"`
 	// TotalRows is the full-relation cardinality.
 	TotalRows int64 `json:"total_rows"`
+	// Cols are the stream's column names in encoded order — projected
+	// when the request carried a projection. Remote readers decode
+	// against this list.
+	Cols []string `json:"cols,omitempty"`
 	// Align is the sink's row alignment: valid offsets and limits are
 	// its multiples.
 	Align int `json:"align"`
@@ -132,6 +144,7 @@ func planStream(sum *summary.Summary, opts StreamOptions) (*streamPlan, error) {
 	t, err := newTableTask(rs, sink, comp, Options{
 		Format: format, Shards: opts.Shards, Shard: opts.Shard,
 		BatchRows: opts.BatchRows, FKSpread: opts.FKSpread,
+		Columns: opts.Columns,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrStream, err)
@@ -170,6 +183,7 @@ func (p *streamPlan) report(opts StreamOptions) *StreamReport {
 		Table: p.t.l.Table, Format: p.sink.Name(),
 		Shard: opts.Shard, Shards: shards,
 		StartRow: p.start, Rows: p.end - p.start, TotalRows: p.t.l.TotalRows,
+		Cols:  append([]string(nil), p.t.l.Cols...),
 		Align: p.align, ChunkRows: p.t.cRows,
 	}
 	if p.comp != nil {
@@ -273,7 +287,7 @@ func (sp *StreamPlan) Run(ctx context.Context, w io.Writer) (*StreamReport, erro
 			if err := lim.WaitN(ctx, hi-lo); err != nil {
 				return rep, err
 			}
-			*buf = encodeChunk(t.g, enc, se, b, (*buf)[:0], lo, hi, t.batchRows)
+			*buf = encodeChunk(t, enc, se, b, (*buf)[:0], lo, hi)
 			rep.RawBytes += int64(len(*buf))
 			if err := writeFramed(cw, p.comp, *buf); err != nil {
 				return rep, err

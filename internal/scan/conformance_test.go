@@ -1,0 +1,484 @@
+// Cross-backend conformance: for any Spec, SummarySource, DirSource,
+// and RemoteSource must yield the identical sequence of batches — same
+// boundaries, same values, same order. This suite is the contract named
+// in the package comment; every backend bug is a diff against the
+// summary reference.
+package scan_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/scan"
+	"github.com/dsl-repro/hydra/internal/serve"
+	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+func testSummary() *summary.Summary {
+	tRel := &summary.RelationSummary{
+		Table: "T", Cols: []string{"C"},
+		Rows: []summary.RelRow{
+			{Vals: []int64{2}, Count: 900},
+			{Vals: []int64{7}, Count: 613},
+		},
+		Total: 1513,
+	}
+	sRel := &summary.RelationSummary{
+		Table: "S", Cols: []string{"A", "B"}, FKCols: []string{"t_fk"}, FKRefs: []string{"T"},
+		Rows: []summary.RelRow{
+			{Vals: []int64{20, 15}, FKs: []int64{1}, FKSpans: []int64{900}, Count: 3001},
+			{Vals: []int64{20, 40}, FKs: []int64{901}, FKSpans: []int64{613}, Count: 2500},
+			{Vals: []int64{61, 15}, FKs: []int64{1}, FKSpans: []int64{900}, Count: 2707},
+		},
+		Total: 8208,
+	}
+	return &summary.Summary{Relations: map[string]*summary.RelationSummary{"S": sRel, "T": tRel}}
+}
+
+// capturedBatch is one batch deep-copied out of a scan.
+type capturedBatch struct {
+	start int64
+	cols  [][]int64
+}
+
+// drain runs one scan to completion and deep-copies its batch sequence.
+func drain(t *testing.T, src scan.Source, spec scan.Spec) []capturedBatch {
+	t.Helper()
+	sc, err := src.Scan(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	defer sc.Close()
+	var out []capturedBatch
+	for sc.Next() {
+		b := sc.Batch()
+		cb := capturedBatch{start: b.Start, cols: make([][]int64, len(b.Cols))}
+		for c, col := range b.Cols {
+			cb.cols[c] = append([]int64(nil), col[:b.N]...)
+		}
+		out = append(out, cb)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan err: %v", err)
+	}
+	return out
+}
+
+func diffBatches(t *testing.T, name string, got, want []capturedBatch) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d batches, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].start != want[i].start {
+			t.Fatalf("%s: batch %d starts at %d, want %d", name, i, got[i].start, want[i].start)
+		}
+		if len(got[i].cols) != len(want[i].cols) {
+			t.Fatalf("%s: batch %d has %d cols, want %d", name, i, len(got[i].cols), len(want[i].cols))
+		}
+		for c := range want[i].cols {
+			gc, wc := got[i].cols[c], want[i].cols[c]
+			if len(gc) != len(wc) {
+				t.Fatalf("%s: batch %d col %d has %d rows, want %d", name, i, c, len(gc), len(wc))
+			}
+			for r := range wc {
+				if gc[r] != wc[r] {
+					t.Fatalf("%s: batch %d col %d row %d = %d, want %d (pk %d)",
+						name, i, c, r, gc[r], wc[r], got[i].start+int64(r))
+				}
+			}
+		}
+	}
+}
+
+// materializeDir produces one scannable directory.
+func materializeDir(t *testing.T, sum *summary.Summary, format, compress string, shards int, spread bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < shards; i++ {
+		if _, err := matgen.Materialize(sum, matgen.Options{
+			Dir: dir, Format: format, Compress: compress,
+			Shards: shards, Shard: i, Workers: 2, BatchRows: 512, FKSpread: spread,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestConformance is the acceptance matrix: every spec against every
+// backend, with the summary source as the reference.
+func TestConformance(t *testing.T) {
+	sum := testSummary()
+	ref := scan.NewSummarySource(sum)
+
+	// One fleet shared by all remote cases.
+	srv, err := serve.NewServer(sum, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv)
+	defer ts1.Close()
+	ts2 := httptest.NewServer(srv)
+	defer ts2.Close()
+	remote, err := scan.NewRemoteSource([]string{ts1.URL, ts2.URL}, scan.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []scan.Spec{
+		{Table: "T"},
+		{Table: "S", BatchRows: 777},
+		{Table: "S", Columns: []string{"S_pk", "A", "t_fk"}, BatchRows: 1000},
+		{Table: "S", Columns: []string{"t_fk", "B"}, BatchRows: 513}, // reordered, pk-less
+		{Table: "S", StartPK: 2500, EndPK: 7001, BatchRows: 640},
+		{Table: "S", Shards: 3, Shard: 1, BatchRows: 999},
+		{Table: "S", StartPK: 100, EndPK: 8000, Shards: 4, Shard: 3, Columns: []string{"A", "S_pk"}, BatchRows: 451},
+		{Table: "S", StartPK: 9000},                          // empty: past the end
+		{Table: "T", StartPK: 900, EndPK: 900, BatchRows: 1}, // single row
+	}
+
+	for _, spread := range []bool{false, true} {
+		// Directory backends must be materialized with the same FK layout
+		// the spec asks the generating backends for.
+		dirs := map[string]string{
+			"dir/csv":      materializeDir(t, sum, "csv", "", 1, spread),
+			"dir/csv+gzip": materializeDir(t, sum, "csv", "gzip", 3, spread),
+			"dir/jsonl":    materializeDir(t, sum, "jsonl", "", 2, spread),
+			"dir/heap":     materializeDir(t, sum, "heap", "", 3, spread),
+		}
+		for _, spec := range specs {
+			spec.FKSpread = spread
+			want := drain(t, ref, spec)
+			name := fmt.Sprintf("spread=%v/%s", spread, specName(spec))
+			t.Run(name, func(t *testing.T) {
+				for label, dir := range dirs {
+					src, err := scan.OpenDir(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					diffBatches(t, label, drain(t, src, spec), want)
+				}
+				diffBatches(t, "remote", drain(t, remote, spec), want)
+			})
+		}
+	}
+}
+
+func specName(s scan.Spec) string {
+	parts := []string{s.Table}
+	if len(s.Columns) > 0 {
+		parts = append(parts, "cols="+strings.Join(s.Columns, "+"))
+	}
+	if s.StartPK != 0 || s.EndPK != 0 {
+		parts = append(parts, fmt.Sprintf("pk=%d-%d", s.StartPK, s.EndPK))
+	}
+	if s.Shards > 1 {
+		parts = append(parts, fmt.Sprintf("shard=%d_%d", s.Shard, s.Shards))
+	}
+	if s.BatchRows != 0 {
+		parts = append(parts, fmt.Sprintf("batch=%d", s.BatchRows))
+	}
+	return strings.Join(parts, ",")
+}
+
+// truncatingHandler kills every Nth stream after a byte budget, forcing
+// RemoteSource to resume mid-table on the next fleet member.
+type truncatingHandler struct {
+	inner http.Handler
+	limit int64
+	n     int
+}
+
+type truncWriter struct {
+	http.ResponseWriter
+	left *int64
+}
+
+func (w *truncWriter) Write(p []byte) (int, error) {
+	if *w.left <= 0 {
+		panic(http.ErrAbortHandler) // tear the connection, no clean EOF
+	}
+	if int64(len(p)) > *w.left {
+		w.ResponseWriter.Write(p[:*w.left])
+		*w.left = 0
+		panic(http.ErrAbortHandler)
+	}
+	*w.left -= int64(len(p))
+	return w.ResponseWriter.Write(p)
+}
+
+func (h *truncatingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.n++
+	if h.n%2 == 1 && !strings.Contains(r.URL.RawQuery, "info=1") {
+		left := h.limit
+		h.inner.ServeHTTP(&truncWriter{ResponseWriter: w, left: &left}, r)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// TestRemoteResumeMidTable proves resume-on-offset: with a fleet whose
+// members keep dying mid-stream, the scan still delivers the exact
+// reference batch sequence.
+func TestRemoteResumeMidTable(t *testing.T) {
+	sum := testSummary()
+	srv, err := serve.NewServer(sum, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := httptest.NewServer(&truncatingHandler{inner: srv, limit: 4 << 10})
+	defer flaky.Close()
+	healthy := httptest.NewServer(srv)
+	defer healthy.Close()
+
+	remote, err := scan.NewRemoteSource([]string{flaky.URL, healthy.URL}, scan.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scan.Spec{Table: "S", BatchRows: 500, Columns: []string{"S_pk", "A", "B"}}
+	want := drain(t, scan.NewSummarySource(sum), spec)
+	diffBatches(t, "flaky-fleet", drain(t, remote, spec), want)
+}
+
+// TestRemoteFleetExhausted proves the failure bound: an all-dead fleet
+// surfaces an error instead of spinning.
+func TestRemoteFleetExhausted(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	remote, err := scan.NewRemoteSource([]string{dead.URL}, scan.RemoteOptions{Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.Scan(context.Background(), scan.Spec{Table: "S"}); err == nil ||
+		!strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("err = %v, want fleet exhausted", err)
+	}
+}
+
+// TestDirChecksumLazyVerify proves the lazy integrity check: corrupting
+// one byte of a part fails the scan that opens it, with the checksum
+// named; a scan that never reaches the corrupt part still succeeds.
+func TestDirChecksumLazyVerify(t *testing.T) {
+	sum := testSummary()
+	dir := materializeDir(t, sum, "csv", "", 3, false)
+	src, err := scan.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the last shard's S part.
+	path := dir + "/S.csv.part-002-of-003"
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 1
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A scan confined to earlier shards never opens the corrupt part.
+	sc, err := src.Scan(context.Background(), scan.Spec{Table: "S", EndPK: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sc.Next() {
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan of clean range failed: %v", err)
+	}
+	sc.Close()
+	// A full scan must refuse the corrupt part.
+	sc, err = src.Scan(context.Background(), scan.Spec{Table: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sc.Next() {
+	}
+	if err := sc.Err(); err == nil || !strings.Contains(err.Error(), "sha256") {
+		t.Fatalf("err = %v, want sha256 mismatch", err)
+	}
+	sc.Close()
+}
+
+// TestDirPartialSplit: a directory holding only some shards scans fine
+// within coverage and fails loudly beyond it.
+func TestDirPartialSplit(t *testing.T) {
+	sum := testSummary()
+	dir := t.TempDir()
+	for _, i := range []int{0, 1} { // shard 2 of 3 missing
+		if _, err := matgen.Materialize(sum, matgen.Options{
+			Dir: dir, Format: "csv", Shards: 3, Shard: i, Workers: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := scan.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scan.Spec{Table: "S", EndPK: 5000, BatchRows: 512}
+	want := drain(t, scan.NewSummarySource(sum), spec)
+	diffBatches(t, "partial-dir", drain(t, src, spec), want)
+
+	sc, err := src.Scan(context.Background(), scan.Spec{Table: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sc.Next() {
+	}
+	if err := sc.Err(); err == nil || !strings.Contains(err.Error(), "covers row") {
+		t.Fatalf("err = %v, want coverage failure", err)
+	}
+	sc.Close()
+}
+
+// TestDirProjectedMaterialization: a directory materialized under a
+// projection presents the projected layout as its natural one.
+func TestDirProjectedMaterialization(t *testing.T) {
+	sum := testSummary()
+	dir := t.TempDir()
+	if _, err := matgen.Materialize(sum, matgen.Options{
+		Dir: dir, Format: "csv", Workers: 2, Columns: []string{"S_pk", "A"}, Tables: []string{"S"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := scan.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := src.Table("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Cols) != 2 || info.Cols[0] != "S_pk" || info.Cols[1] != "A" {
+		t.Fatalf("cols = %v", info.Cols)
+	}
+	spec := scan.Spec{Table: "S", BatchRows: 2048}
+	want := drain(t, scan.NewSummarySource(sum), scan.Spec{Table: "S", Columns: []string{"S_pk", "A"}, BatchRows: 2048})
+	diffBatches(t, "projected-dir", drain(t, src, spec), want)
+}
+
+// TestScanRateLimit: pacing is applied per batch, identically for every
+// backend (spot-checked on the summary source — the limiter is shared
+// plumbing).
+func TestScanRateLimit(t *testing.T) {
+	src := scan.NewSummarySource(testSummary())
+	start := time.Now()
+	sc, err := src.Scan(context.Background(), scan.Spec{Table: "T", BatchRows: 500, RateLimit: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	var rows int64
+	for sc.Next() {
+		rows += int64(sc.Batch().N)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// 1513 rows at 5000 rows/s ≈ 300ms; allow generous slack below.
+	if rows != 1513 || elapsed < 150*time.Millisecond {
+		t.Fatalf("rows=%d in %v — rate limit not applied", rows, elapsed)
+	}
+}
+
+// TestRemoteMixedFleetNeverSplices: a fleet whose members serve
+// different summaries must never splice them into one scan. The data
+// streams are pinned to the summary digest of the geometry (info=1)
+// response, so members loaded with a different database are refused and
+// the scan either completes entirely against the geometry's database or
+// fails — a result mixing the two is the one forbidden outcome.
+func TestRemoteMixedFleetNeverSplices(t *testing.T) {
+	sumA := testSummary()
+	sumB := testSummary()
+	sumB.Relations["S"].Rows[0].Count += 100 // a different database
+	sumB.Relations["S"].Total += 100
+	srvA, err := serve.NewServer(sumA, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := serve.NewServer(sumB, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA)
+	defer tsA.Close()
+	tsB := httptest.NewServer(srvB)
+	defer tsB.Close()
+
+	// Round-robin guarantees the geometry request and the first data
+	// stream land on different members, so every trial exercises the
+	// cross-server path the digest pin guards.
+	remote, err := scan.NewRemoteSource([]string{tsA.URL, tsB.URL}, scan.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scan.Spec{Table: "S", BatchRows: 1000}
+	wantA := drain(t, scan.NewSummarySource(sumA), spec)
+	wantB := drain(t, scan.NewSummarySource(sumB), spec)
+	for trial := 0; trial < 4; trial++ {
+		got := drain(t, remote, spec) // drain fails the test on scan errors
+		if matchesBatches(got, wantA) || matchesBatches(got, wantB) {
+			continue
+		}
+		t.Fatalf("trial %d: mixed fleet produced a scan matching neither database (%d batches)",
+			trial, len(got))
+	}
+}
+
+// matchesBatches reports whether two captured batch sequences are
+// identical.
+func matchesBatches(got, want []capturedBatch) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i].start != want[i].start || len(got[i].cols) != len(want[i].cols) {
+			return false
+		}
+		for c := range want[i].cols {
+			if len(got[i].cols[c]) != len(want[i].cols[c]) {
+				return false
+			}
+			for r := range want[i].cols[c] {
+				if got[i].cols[c][r] != want[i].cols[c][r] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestDirMixedProjectionRefused: shards materialized under different
+// same-width projections must be refused at OpenDir — decoding them
+// positionally against one layout would silently swap column values.
+func TestDirMixedProjectionRefused(t *testing.T) {
+	sum := testSummary()
+	dir := t.TempDir()
+	if _, err := matgen.Materialize(sum, matgen.Options{
+		Dir: dir, Format: "csv", Shards: 2, Shard: 0, Tables: []string{"S"},
+		Columns: []string{"S_pk", "A"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := matgen.Materialize(sum, matgen.Options{
+		Dir: dir, Format: "csv", Shards: 2, Shard: 1, Tables: []string{"S"},
+		Columns: []string{"A", "S_pk"}, // same width, different order
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scan.OpenDir(dir); err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("err = %v, want layout disagreement", err)
+	}
+}

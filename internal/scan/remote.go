@@ -1,0 +1,366 @@
+package scan
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+// RemoteOptions tunes a RemoteSource.
+type RemoteOptions struct {
+	// Client issues the HTTP requests; nil builds one without timeouts
+	// (scans legitimately stream long; cancellation comes from the scan
+	// context).
+	Client *http.Client
+	// Attempts bounds consecutive failures — failed connections, error
+	// statuses, or streams that died without delivering a row — before a
+	// scan gives up; progress resets the count. 0 means twice the fleet
+	// size.
+	Attempts int
+}
+
+// RemoteSource scans tables served by a fleet of `hydra serve` servers
+// over GET /v1/tables/{table}. Column projection is pushed down to the
+// server (columns= query parameter), so only the selected columns cross
+// the network. The stream is consumed incrementally and decoded straight
+// into batches; if a server fails mid-table the scan resumes on the next
+// fleet member at the exact row offset it had reached — the offset
+// resume the serve data plane guarantees is byte-identical — after
+// checking the member serves the same summary digest, so a mixed fleet
+// can never splice two different databases into one scan.
+type RemoteSource struct {
+	servers []string
+	opts    RemoteOptions
+	next    atomic.Uint64
+}
+
+var _ Source = (*RemoteSource)(nil)
+
+// NewRemoteSource builds a source over the fleet's base URLs
+// (e.g. "http://10.0.0.7:8372").
+func NewRemoteSource(servers []string, opts RemoteOptions) (*RemoteSource, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("scan: remote source needs at least one server URL")
+	}
+	clean := make([]string, len(servers))
+	for i, raw := range servers {
+		u, err := url.Parse(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, fmt.Errorf("scan: server URL %q: %w", raw, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("scan: server URL %q: want http(s)://host[:port]", raw)
+		}
+		clean[i] = strings.TrimRight(u.String(), "/")
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	if opts.Attempts <= 0 {
+		opts.Attempts = 2 * len(servers)
+	}
+	return &RemoteSource{servers: clean, opts: opts}, nil
+}
+
+// Servers returns the fleet's base URLs.
+func (s *RemoteSource) Servers() []string { return append([]string(nil), s.servers...) }
+
+// errorBodyLimit bounds how much of an error response is read back.
+const errorBodyLimit = 4 << 10
+
+// headerDigest is serve's summary-identity header (serve.HeaderDigest;
+// not imported so a future serve-on-scan layering stays cycle-free).
+const headerDigest = "X-Hydra-Summary-Digest"
+
+// pick returns the next fleet member in round-robin order.
+func (s *RemoteSource) pick() string {
+	return s.servers[int(s.next.Add(1)-1)%len(s.servers)]
+}
+
+// getJSON fetches one JSON document with fleet failover, returning the
+// answering server's summary digest header (empty on servers that
+// predate it).
+func (s *RemoteSource) getJSON(ctx context.Context, path string, v any) (string, error) {
+	var lastErr error
+	for i := 0; i < s.opts.Attempts; i++ {
+		srv := s.pick()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv+path, nil)
+		if err != nil {
+			return "", err
+		}
+		resp, err := s.opts.Client.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", srv, err)
+			if ctx.Err() != nil {
+				return "", lastErr
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
+			resp.Body.Close()
+			err := fmt.Errorf("%s answered %s: %s", srv, resp.Status, strings.TrimSpace(string(msg)))
+			// Client mistakes (bad table, bad spec) are the same on every
+			// server; failing over would just repeat them.
+			if resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusNotFound {
+				return "", fmt.Errorf("%w: %v", ErrSpec, err)
+			}
+			lastErr = err
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(v)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", srv, err)
+			continue
+		}
+		return resp.Header.Get(headerDigest), nil
+	}
+	return "", fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", s.opts.Attempts, lastErr)
+}
+
+// Tables implements Source via GET /v1/summary.
+func (s *RemoteSource) Tables() ([]string, error) {
+	var doc struct {
+		Relations map[string]int64 `json:"relations"`
+	}
+	if _, err := s.getJSON(context.Background(), "/v1/summary", &doc); err != nil {
+		return nil, err
+	}
+	return sortedNames(doc.Relations), nil
+}
+
+// Table implements Source via the tables endpoint's info=1 geometry
+// answer, which generates nothing server-side.
+func (s *RemoteSource) Table(name string) (*TableInfo, error) {
+	info, _, err := s.tableInfo(context.Background(), name)
+	return info, err
+}
+
+func (s *RemoteSource) tableInfo(ctx context.Context, name string) (*TableInfo, string, error) {
+	var rep matgen.StreamReport
+	path := "/v1/tables/" + url.PathEscape(name) + "?format=csv&info=1"
+	digest, err := s.getJSON(ctx, path, &rep)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(rep.Cols) == 0 {
+		return nil, "", fmt.Errorf("scan: fleet server predates column reporting; upgrade `hydra serve`")
+	}
+	return &TableInfo{Table: name, Cols: rep.Cols, Rows: rep.TotalRows}, digest, nil
+}
+
+// Scan implements Source.
+func (s *RemoteSource) Scan(ctx context.Context, spec Spec) (*Scan, error) {
+	info, digest, err := s.tableInfo(ctx, spec.Table)
+	if err != nil {
+		return nil, err
+	}
+	r, err := resolve(spec, info)
+	if err != nil {
+		return nil, err
+	}
+	// The scan's row range was computed from this geometry, so the data
+	// streams are pinned to the geometry's summary digest: a fleet
+	// member loaded with a different database fails the scan instead of
+	// silently truncating or padding it.
+	f := &remoteFiller{
+		src: s, spec: spec, end: r.hi,
+		ncols:  len(r.cols),
+		digest: digest,
+		row:    make([]int64, len(r.cols)),
+	}
+	return newScan(ctx, r, f), nil
+}
+
+// Close implements Source; idle HTTP connections belong to the client's
+// transport.
+func (s *RemoteSource) Close() error { return nil }
+
+// remoteFiller decodes one csv table stream into batches, reopening at
+// the current offset on another fleet member when a stream dies.
+type remoteFiller struct {
+	src   *RemoteSource
+	spec  Spec
+	end   int64 // absolute end of the scanned range
+	ncols int
+
+	body   io.ReadCloser
+	rr     *csvReader
+	pos    int64  // absolute row the open stream yields next
+	digest string // summary digest pinned by the geometry (or first) response
+	fails  int
+	row    []int64
+}
+
+func (f *remoteFiller) fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64) error {
+	n := int(hi - lo)
+	cols := prepBatch(b, f.ncols, n, lo)
+	for i := 0; i < n; i++ {
+		abs := lo + int64(i)
+		for {
+			if f.rr == nil || f.pos != abs {
+				if err := f.openAt(ctx, abs); err != nil {
+					return err
+				}
+			}
+			if err := f.rr.next(f.row); err != nil {
+				// The stream died (connection, truncation, torn row) —
+				// resume at this exact row on the next fleet member.
+				f.closeBody()
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				if f.fails++; f.fails >= f.src.opts.Attempts {
+					return fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", f.src.opts.Attempts, err)
+				}
+				continue
+			}
+			break
+		}
+		f.fails = 0 // a decoded row is progress
+		for c := range cols {
+			cols[c][i] = f.row[c]
+		}
+		f.pos++
+	}
+	return nil
+}
+
+// openAt starts (or resumes) the table stream at absolute row abs.
+func (f *remoteFiller) openAt(ctx context.Context, abs int64) error {
+	f.closeBody()
+	var lastErr error
+	for f.fails < f.src.opts.Attempts {
+		srv := f.src.pick()
+		err := f.openOn(ctx, srv, abs)
+		if err == nil {
+			f.pos = abs
+			return nil
+		}
+		if errors.Is(err, ErrSpec) || ctx.Err() != nil {
+			return err
+		}
+		lastErr = fmt.Errorf("%s: %w", srv, err)
+		f.fails++
+		// A 503 is capacity signaling; give the fleet a beat before the
+		// next attempt instead of burning the budget in a tight loop.
+		var busy *busyError
+		if errors.As(err, &busy) {
+			t := time.NewTimer(busy.retryAfter)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	return fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", f.src.opts.Attempts, lastErr)
+}
+
+func (f *remoteFiller) openOn(ctx context.Context, srv string, abs int64) error {
+	q := url.Values{}
+	q.Set("format", "csv")
+	if len(f.spec.Columns) > 0 {
+		q.Set("columns", strings.Join(f.spec.Columns, ","))
+	}
+	if f.spec.FKSpread {
+		q.Set("fkspread", "1")
+	}
+	q.Set("offset", strconv.FormatInt(abs, 10))
+	if limit := f.end - abs; limit > 0 {
+		q.Set("limit", strconv.FormatInt(limit, 10))
+	}
+	u := srv + "/v1/tables/" + url.PathEscape(f.spec.Table) + "?" + q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.src.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
+		resp.Body.Close()
+		errText := fmt.Sprintf("answered %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		switch resp.StatusCode {
+		case http.StatusBadRequest, http.StatusNotFound:
+			return fmt.Errorf("%w: %s", ErrSpec, errText)
+		case http.StatusServiceUnavailable:
+			return &busyError{retryAfter: busyRetryAfter(resp), msg: errText}
+		}
+		return errors.New(errText)
+	}
+	if d := resp.Header.Get(headerDigest); d != "" {
+		if f.digest == "" {
+			f.digest = d
+		} else if f.digest != d {
+			resp.Body.Close()
+			return fmt.Errorf("scan: fleet member serves summary %.12s…, scan started on %.12s… — cannot splice", d, f.digest)
+		}
+	}
+	// The stream carries the csv header line exactly when it starts at
+	// the very top of the table (server-side shard 0, offset 0 — we
+	// always request the whole table and cut our own range via offset).
+	rr, err := newCSVReader(resp.Body, f.ncols, abs == 0)
+	if err != nil {
+		resp.Body.Close()
+		return err
+	}
+	f.body, f.rr = resp.Body, rr
+	return nil
+}
+
+func (f *remoteFiller) closeBody() {
+	if f.body != nil {
+		f.body.Close()
+		f.body, f.rr = nil, nil
+	}
+}
+
+func (f *remoteFiller) close() error {
+	f.closeBody()
+	return nil
+}
+
+// busyError is a 503 capacity rejection with its Retry-After hint. It
+// deliberately mirrors (not imports) serve's client-side equivalent:
+// scan stays free of a serve dependency so serve can one day sit on
+// top of scan without a cycle, and a scanning consumer waits a shorter
+// maximum (5s vs the shard Runner's 30s) because its work unit is a
+// resumable stream, not a whole shard job.
+type busyError struct {
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *busyError) Error() string { return e.msg }
+
+// busyRetryAfter parses a 503's Retry-After seconds, clamped to
+// [100ms, 5s]; absent or malformed values mean 1s.
+func busyRetryAfter(resp *http.Response) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+		if d < 100*time.Millisecond {
+			d = 100 * time.Millisecond
+		}
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}

@@ -1,0 +1,310 @@
+// Package scan is Hydra's unified read path: one pull-based, columnar
+// scan API over every place regenerated data can live. The paper's
+// second deliverable is *dynamic* regeneration — a query executor pulls
+// tuples on demand from the scale-independent summary instead of reading
+// a materialized database (§2's "datagen" scan operator). After the
+// materialization engine (internal/matgen) and the HTTP data plane
+// (internal/serve), the same logical relation exists in three physical
+// forms; this package makes all of them one thing to consume:
+//
+//	SummarySource  generates batches straight from a loaded summary
+//	               (the in-process dynamic path, tuplegen under the hood)
+//	DirSource      reads back a materialized shard directory, decoding
+//	               csv/jsonl/heap part files against their manifests and
+//	               verifying checksums lazily (each part is re-hashed the
+//	               first time a scan opens it)
+//	RemoteSource   streams from a fleet of `hydra serve` servers with
+//	               projection pushdown, resume-on-offset, and failover
+//
+// Every source answers the same Spec — table, column projection,
+// pk range, shard i/N split, batch size, rows/s rate limit — and yields
+// the identical sequence of column-major batches: same batch boundaries,
+// same values, same order. That conformance is the contract that lets a
+// query engine, a benchmark driver, or a future columnar sink bind to
+// Source once and run against any backend, and it is pinned by this
+// package's cross-backend conformance tests.
+package scan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/dsl-repro/hydra/internal/rate"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+// DefaultBatchRows is the batch granularity when Spec leaves BatchRows
+// zero — the same default the materialization engine uses, big enough to
+// amortize per-batch overhead, small enough to stay cache-resident.
+const DefaultBatchRows = 8192
+
+// ErrSpec marks a scan request the caller got wrong — unknown table or
+// column, shard or range out of bounds. Callers map errors.Is(err,
+// ErrSpec) to a client error; anything else is a backend failure.
+var ErrSpec = errors.New("scan: invalid spec")
+
+// Spec selects what one Scan reads. The zero value means "everything":
+// all columns of the whole table, unsplit, at full speed.
+type Spec struct {
+	// Table names the relation to scan. Required.
+	Table string
+	// Columns projects the scan onto a subset of columns, in the order
+	// given (nil = every column in the source's layout order). The
+	// projection is pushed down as far as the backend allows: the
+	// summary source generates only the selected columns, and the remote
+	// source asks the server to encode only them.
+	Columns []string
+	// StartPK and EndPK bound the scan to primary keys [StartPK, EndPK],
+	// 1-based and inclusive. Zero values mean the table's ends; EndPK is
+	// clamped to the relation's cardinality.
+	StartPK int64
+	EndPK   int64
+	// Shards and Shard select piece Shard (0-based) of an N-way split of
+	// the scanned pk range — how a parallel consumer divides one logical
+	// scan across workers or machines. Zero values mean the single piece
+	// 0 of 1. The split is pure arithmetic over the range, identical for
+	// every backend.
+	Shards int
+	Shard  int
+	// BatchRows sets the batch granularity (0 = DefaultBatchRows).
+	// Batches fall on a fixed grid anchored at the scanned range's
+	// start: every batch holds exactly BatchRows rows except the last.
+	BatchRows int
+	// RateLimit paces the scan in rows per second (0 = unlimited),
+	// client-side, identically for every backend: each batch is released
+	// only once its own emission time has elapsed.
+	RateLimit float64
+	// FKSpread enables tuplegen's spread-FK extension. It must match how
+	// a directory was materialized for DirSource scans to agree with the
+	// other backends.
+	FKSpread bool
+}
+
+// TableInfo describes one scannable relation: its column names in layout
+// order (pk first for generated layouts) and its cardinality.
+type TableInfo struct {
+	Table string
+	Cols  []string
+	Rows  int64
+}
+
+// Source is a handle on regenerated data, wherever it lives. All
+// implementations in this package are safe for concurrent use; each Scan
+// holds its own cursor state.
+type Source interface {
+	// Tables lists the relation names, sorted.
+	Tables() ([]string, error)
+	// Table describes one relation's natural (unprojected) layout.
+	Table(name string) (*TableInfo, error)
+	// Scan starts a pull-based batch scan. The context governs the whole
+	// scan: every Next observes its cancellation or deadline.
+	Scan(ctx context.Context, spec Spec) (*Scan, error)
+	// Close releases the source's resources. Scans must not be used
+	// after their source is closed.
+	Close() error
+}
+
+// filler is the backend seam: it fills b with rows [lo, hi) (absolute
+// 0-based offsets; row r holds primary key r+1). The scan core calls it
+// with contiguous, monotonically increasing ranges on the batch grid.
+type filler interface {
+	fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64) error
+	close() error
+}
+
+// Scan is a pull-based iterator of column-major row batches — the
+// "datagen scan" operator's cursor. Usage follows database/sql.Rows:
+//
+//	sc, err := src.Scan(ctx, spec)
+//	...
+//	defer sc.Close()
+//	for sc.Next() {
+//	    b := sc.Batch() // valid until the next Next call
+//	}
+//	err = sc.Err()
+//
+// A Scan is not safe for concurrent use; run one per goroutine.
+type Scan struct {
+	ctx   context.Context
+	table string
+	cols  []string
+	lo    int64 // absolute row range [lo, hi)
+	hi    int64
+	pos   int64 // next unread absolute row
+	step  int64 // batch grid step (resolved BatchRows)
+	lim   *rate.Limiter
+	fill  filler
+	b     *tuplegen.Batch
+	err   error
+	done  bool
+}
+
+// Table returns the name of the relation being scanned.
+func (s *Scan) Table() string { return s.table }
+
+// Cols returns the scan's output column names, projection applied.
+func (s *Scan) Cols() []string { return append([]string(nil), s.cols...) }
+
+// NumRows returns how many rows the scan covers in total.
+func (s *Scan) NumRows() int64 { return s.hi - s.lo }
+
+// StartRow returns the absolute 0-based offset of the scan's first row
+// (its primary key minus one).
+func (s *Scan) StartRow() int64 { return s.lo }
+
+// Next advances to the next batch, reporting false at the end of the
+// scan or on the first error (check Err). It honors the scan context's
+// cancellation and the spec's rate limit.
+func (s *Scan) Next() bool {
+	if s.done || s.err != nil || s.pos >= s.hi {
+		return false
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.err = err
+		return false
+	}
+	n := s.step
+	if s.pos+n > s.hi {
+		n = s.hi - s.pos
+	}
+	// The limiter paces batch release exactly like matgen's collectors:
+	// batches go out whole, each only once its own emission time has
+	// elapsed, and a done context interrupts the wait promptly.
+	if err := s.lim.WaitN(s.ctx, n); err != nil {
+		s.err = err
+		return false
+	}
+	if err := s.fill.fill(s.ctx, s.b, s.pos, s.pos+n); err != nil {
+		s.err = err
+		return false
+	}
+	if s.b.Start != s.pos+1 || int64(s.b.N) != n {
+		s.err = fmt.Errorf("scan: backend filled rows [%d,%d), wanted [%d,%d)",
+			s.b.Start-1, s.b.Start-1+int64(s.b.N), s.pos, s.pos+n)
+		return false
+	}
+	s.pos += n
+	return true
+}
+
+// Batch returns the current batch. Its buffers are reused by the next
+// Next call; consumers that retain rows must copy them.
+func (s *Scan) Batch() *tuplegen.Batch { return s.b }
+
+// Err returns the error that stopped the scan, nil after a clean end.
+func (s *Scan) Err() error { return s.err }
+
+// Close releases the scan's backend resources (open files, HTTP
+// streams). It is idempotent and does not disturb Err.
+func (s *Scan) Close() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	return s.fill.close()
+}
+
+// resolved is a validated, normalized Spec bound to one table layout.
+type resolved struct {
+	info TableInfo // the source's natural layout
+	cols []string  // output columns, projection applied
+	proj []int     // indices into info.Cols; nil = all
+	lo   int64     // absolute row range [lo, hi)
+	hi   int64
+	step int64
+	lim  *rate.Limiter
+}
+
+// resolve validates spec against the table's layout and computes the
+// scan geometry every backend must agree on: the projected column list,
+// the absolute row range (pk range restricted, then shard-split), and
+// the batch grid.
+func resolve(spec Spec, info *TableInfo) (*resolved, error) {
+	shards := spec.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 || spec.Shard < 0 || spec.Shard >= shards {
+		return nil, fmt.Errorf("%w: shard %d of %d out of range", ErrSpec, spec.Shard, spec.Shards)
+	}
+	batch := spec.BatchRows
+	if batch == 0 {
+		batch = DefaultBatchRows
+	}
+	if batch < 1 {
+		return nil, fmt.Errorf("%w: batch rows %d out of range", ErrSpec, spec.BatchRows)
+	}
+	var lim *rate.Limiter
+	if spec.RateLimit != 0 {
+		var err error
+		if lim, err = rate.NewLimiter(spec.RateLimit, 0); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+	}
+	proj, err := tuplegen.ProjectCols(info.Cols, spec.Columns)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrSpec, info.Table, err)
+	}
+	cols := info.Cols
+	if proj != nil {
+		cols = make([]string, len(proj))
+		for i, src := range proj {
+			cols[i] = info.Cols[src]
+		}
+	}
+	if spec.StartPK < 0 || spec.EndPK < 0 {
+		return nil, fmt.Errorf("%w: pk range [%d,%d] out of range", ErrSpec, spec.StartPK, spec.EndPK)
+	}
+	start := spec.StartPK
+	if start < 1 {
+		start = 1
+	}
+	end := spec.EndPK
+	if end == 0 || end > info.Rows {
+		end = info.Rows
+	}
+	lo0, hi0 := start-1, end
+	if hi0 < lo0 {
+		hi0 = lo0 // empty scan, not an error: range semantics match Batch's clamping
+	}
+	// Shard split of the restricted range: pure arithmetic, alignment 1,
+	// so every backend computes the identical piece.
+	n := hi0 - lo0
+	lo := lo0 + n*int64(spec.Shard)/int64(shards)
+	hi := lo0 + n*int64(spec.Shard+1)/int64(shards)
+	return &resolved{
+		info: *info, cols: cols, proj: proj,
+		lo: lo, hi: hi, step: int64(batch), lim: lim,
+	}, nil
+}
+
+// newScan assembles the iterator all sources share.
+func newScan(ctx context.Context, r *resolved, f filler) *Scan {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Scan{
+		ctx: ctx, table: r.info.Table, cols: r.cols,
+		lo: r.lo, hi: r.hi, pos: r.lo, step: r.step,
+		lim: r.lim, fill: f, b: &tuplegen.Batch{},
+	}
+}
+
+// prepBatch shapes b for n rows of ncols columns starting at absolute
+// row lo — tuplegen's one batch-reuse policy, pk-indexed.
+func prepBatch(b *tuplegen.Batch, ncols, n int, lo int64) [][]int64 {
+	return b.Reshape(ncols, n, lo+1)
+}
+
+// sortedNames returns the map's keys, sorted — the Tables() order every
+// source presents.
+func sortedNames[T any](m map[string]T) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

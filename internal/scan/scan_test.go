@@ -1,0 +1,227 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+func newGeneratorForTest(sum *summary.Summary, table string) *tuplegen.Generator {
+	return tuplegen.New(sum.Relations[table])
+}
+
+// testSummary mirrors the matgen/serve fixture: two relations with FK
+// spans, small enough to compare exhaustively, large enough to cross
+// batch and shard boundaries.
+func testSummary() *summary.Summary {
+	tRel := &summary.RelationSummary{
+		Table: "T", Cols: []string{"C"},
+		Rows: []summary.RelRow{
+			{Vals: []int64{2}, Count: 900},
+			{Vals: []int64{7}, Count: 613},
+		},
+		Total: 1513,
+	}
+	sRel := &summary.RelationSummary{
+		Table: "S", Cols: []string{"A", "B"}, FKCols: []string{"t_fk"}, FKRefs: []string{"T"},
+		Rows: []summary.RelRow{
+			{Vals: []int64{20, 15}, FKs: []int64{1}, FKSpans: []int64{900}, Count: 3001},
+			{Vals: []int64{20, 40}, FKs: []int64{901}, FKSpans: []int64{613}, Count: 2500},
+			{Vals: []int64{61, 15}, FKs: []int64{1}, FKSpans: []int64{900}, Count: 2707},
+		},
+		Total: 8208,
+	}
+	return &summary.Summary{Relations: map[string]*summary.RelationSummary{"S": sRel, "T": tRel}}
+}
+
+func TestResolveDefaults(t *testing.T) {
+	info := &TableInfo{Table: "S", Cols: []string{"S_pk", "A", "B", "t_fk"}, Rows: 8208}
+	r, err := resolve(Spec{Table: "S"}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.lo != 0 || r.hi != 8208 || r.step != DefaultBatchRows || r.proj != nil {
+		t.Fatalf("resolved %+v", r)
+	}
+	if len(r.cols) != 4 {
+		t.Fatalf("cols = %v", r.cols)
+	}
+}
+
+func TestResolveRangeAndClamp(t *testing.T) {
+	info := &TableInfo{Table: "S", Cols: []string{"S_pk"}, Rows: 100}
+	for _, tc := range []struct {
+		spec   Spec
+		lo, hi int64
+	}{
+		{Spec{StartPK: 10, EndPK: 20}, 9, 20},
+		{Spec{StartPK: 0, EndPK: 1 << 40}, 0, 100}, // EndPK clamps
+		{Spec{StartPK: 101}, 100, 100},             // empty, not an error
+		{Spec{StartPK: 50, EndPK: 10}, 49, 49},     // inverted → empty
+	} {
+		tc.spec.Table = "S"
+		r, err := resolve(tc.spec, info)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.spec, err)
+		}
+		if r.lo != tc.lo || r.hi != tc.hi {
+			t.Fatalf("%+v: range [%d,%d), want [%d,%d)", tc.spec, r.lo, r.hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestResolveShardsTile proves the spec-level split is a partition: the
+// shard pieces of any pk range are disjoint, ordered, and cover it.
+func TestResolveShardsTile(t *testing.T) {
+	info := &TableInfo{Table: "S", Cols: []string{"S_pk"}, Rows: 8208}
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		var pos int64 = 99 // StartPK 100
+		for i := 0; i < n; i++ {
+			r, err := resolve(Spec{Table: "S", StartPK: 100, EndPK: 5000, Shards: n, Shard: i}, info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.lo != pos {
+				t.Fatalf("shards=%d shard=%d starts at %d, want %d", n, i, r.lo, pos)
+			}
+			pos = r.hi
+		}
+		if pos != 5000 {
+			t.Fatalf("shards=%d cover [99,%d), want [99,5000)", n, pos)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	info := &TableInfo{Table: "S", Cols: []string{"S_pk", "A"}, Rows: 100}
+	for _, spec := range []Spec{
+		{Table: "S", Shards: 2, Shard: 2},
+		{Table: "S", Shards: -1},
+		{Table: "S", BatchRows: -5},
+		{Table: "S", StartPK: -1},
+		{Table: "S", RateLimit: -3},
+		{Table: "S", Columns: []string{"nope"}},
+		{Table: "S", Columns: []string{"A", "A"}},
+	} {
+		if _, err := resolve(spec, info); !errors.Is(err, ErrSpec) {
+			t.Fatalf("%+v: err = %v, want ErrSpec", spec, err)
+		}
+	}
+}
+
+// TestSummaryScanMatchesGenerator pins the reference backend to the raw
+// generator: scanning must see exactly the rows Generator.Row produces.
+func TestSummaryScanMatchesGenerator(t *testing.T) {
+	sum := testSummary()
+	src := NewSummarySource(sum)
+	sc, err := src.Scan(context.Background(), Spec{Table: "S", BatchRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	g := newGeneratorForTest(sum, "S")
+	var rowBuf []int64
+	var pk int64
+	for sc.Next() {
+		b := sc.Batch()
+		if b.Start != pk+1 {
+			t.Fatalf("batch starts at %d, want %d", b.Start, pk+1)
+		}
+		for i := 0; i < b.N; i++ {
+			pk++
+			rowBuf = g.Row(pk, rowBuf)
+			for c := range b.Cols {
+				if b.Cols[c][i] != rowBuf[c] {
+					t.Fatalf("pk %d col %d = %d, want %d", pk, c, b.Cols[c][i], rowBuf[c])
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if pk != 8208 {
+		t.Fatalf("scanned %d rows, want 8208", pk)
+	}
+}
+
+// TestBatchGrid pins the conformance-critical batch boundaries: fixed
+// BatchRows steps anchored at the scanned range's start, short last
+// batch.
+func TestBatchGrid(t *testing.T) {
+	src := NewSummarySource(testSummary())
+	sc, err := src.Scan(context.Background(), Spec{Table: "S", StartPK: 11, EndPK: 1000, BatchRows: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	var got [][2]int64
+	for sc.Next() {
+		got = append(got, [2]int64{sc.Batch().Start, int64(sc.Batch().N)})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{11, 300}, {311, 300}, {611, 300}, {911, 90}}
+	if len(got) != len(want) {
+		t.Fatalf("batches %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	src := NewSummarySource(testSummary())
+	sc, err := src.Scan(ctx, Spec{Table: "S", BatchRows: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if !sc.Next() {
+		t.Fatal("first Next = false")
+	}
+	cancel()
+	if sc.Next() {
+		t.Fatal("Next = true after cancel")
+	}
+	if !errors.Is(sc.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want Canceled", sc.Err())
+	}
+}
+
+func TestProjectionOrderAndValues(t *testing.T) {
+	src := NewSummarySource(testSummary())
+	sc, err := src.Scan(context.Background(), Spec{
+		Table: "S", Columns: []string{"t_fk", "S_pk"}, StartPK: 3000, EndPK: 3010, FKSpread: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if got := sc.Cols(); len(got) != 2 || got[0] != "t_fk" || got[1] != "S_pk" {
+		t.Fatalf("cols = %v", got)
+	}
+	g := newGeneratorForTest(testSummary(), "S")
+	g.SetFKSpread(true)
+	var row []int64
+	for sc.Next() {
+		b := sc.Batch()
+		for i := 0; i < b.N; i++ {
+			pk := b.Start + int64(i)
+			row = g.Row(pk, row)
+			if b.Cols[0][i] != row[3] || b.Cols[1][i] != pk {
+				t.Fatalf("pk %d: got (%d,%d), want (%d,%d)", pk, b.Cols[0][i], b.Cols[1][i], row[3], pk)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,12 +6,14 @@
 // Server side, two endpoints over one summary:
 //
 //	GET  /v1/tables/{table}?format=csv|jsonl|sql|heap&compress=gzip
-//	     &shard=i/N&offset=K&limit=M&rate=R
+//	     &shard=i/N&offset=K&limit=M&rate=R&columns=a,b
 //	     streams a resumable range scan straight from matgen's
 //	     zero-allocation encode pipeline. The bytes are exactly what a
-//	     local materialization writes (prefix/suffix thereof for
-//	     limited/resumed streams), chunk-flushed as they are produced,
-//	     SHA-256 in an HTTP trailer. Backpressure is the connection
+//	     local materialization with the same options writes (prefix/
+//	     suffix thereof for limited/resumed streams), chunk-flushed as
+//	     they are produced, SHA-256 in an HTTP trailer. columns= pushes
+//	     a projection down to the encoder layer: only the named columns
+//	     are generated and encoded, in the order given. Backpressure is the connection
 //	     itself: a slow client stalls encoding instead of buffering the
 //	     table in memory, and closing it cancels generation mid-chunk.
 //	GET  /v1/tables/{table}?...&info=1 returns the stream's geometry

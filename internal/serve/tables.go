@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
 	"github.com/dsl-repro/hydra/internal/rate"
@@ -53,6 +54,10 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := plan.Info()
+	// Every tables response — geometry included — names the summary it
+	// describes, so a client that plans a scan from info=1 can demand
+	// the data stream come from the same database.
+	w.Header().Set(HeaderDigest, s.digest)
 	if r.URL.Query().Get("info") == "1" {
 		writeJSON(w, http.StatusOK, info)
 		return
@@ -69,7 +74,6 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	h.Set(HeaderTotalRows, strconv.FormatInt(info.TotalRows, 10))
 	h.Set(HeaderAlign, strconv.Itoa(info.Align))
 	h.Set(HeaderChunkRows, strconv.FormatInt(info.ChunkRows, 10))
-	h.Set(HeaderDigest, s.digest)
 	h.Set("Trailer", TrailerSha256)
 
 	// The stream tees into the hash for the trailer and flushes each
@@ -108,6 +112,14 @@ func streamOptionsFromQuery(r *http.Request) (*matgen.StreamOptions, error) {
 	}
 	if opts.Format == "" {
 		opts.Format = "csv"
+	}
+	// columns= pushes a projection down to the encoder layer: only the
+	// named columns are generated and encoded, and the stream's layout
+	// (header, alignment, chunk grid) is the projected one.
+	if v := q.Get("columns"); v != "" {
+		for _, name := range strings.Split(v, ",") {
+			opts.Columns = append(opts.Columns, strings.TrimSpace(name))
+		}
 	}
 	var err error
 	if opts.Shard, opts.Shards, err = parseShard(q.Get("shard")); err != nil {

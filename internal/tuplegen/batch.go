@@ -1,6 +1,10 @@
 package tuplegen
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Batch is a column-major block of consecutive generated tuples. Columns
 // follow tuple order: pk, non-key columns, then FK columns — the same
@@ -28,6 +32,76 @@ func (b *Batch) Row(dst []int64, i int) []int64 {
 	return dst
 }
 
+// Reshape sizes the batch for n rows of ncols columns starting at
+// startPK and returns the column slices ready to fill. Buffers are
+// reused, and the column count changes without dropping per-column
+// allocations — a batch recycled across relations of different widths
+// (engines pool them) keeps its capacity. Every filler of batches
+// (Batch, BatchCols, the scan backends) shares this one reuse policy.
+func (b *Batch) Reshape(ncols, n int, startPK int64) [][]int64 {
+	if len(b.Cols) != ncols {
+		if cap(b.Cols) < ncols {
+			cols := make([][]int64, ncols)
+			copy(cols, b.Cols[:cap(b.Cols)])
+			b.Cols = cols
+		} else {
+			b.Cols = b.Cols[:ncols]
+		}
+	}
+	for i := range b.Cols {
+		if cap(b.Cols[i]) < n {
+			b.Cols[i] = make([]int64, n)
+		}
+		b.Cols[i] = b.Cols[i][:n]
+	}
+	b.Start, b.N = startPK, n
+	return b.Cols
+}
+
+// ProjectCols resolves a column projection against a layout: the
+// returned indices map each wanted column onto its position in have, in
+// the order requested. A nil or empty want selects every column (nil
+// indices, the "no projection" signal BatchCols and every scan backend
+// understand). Unknown and duplicate names are errors — a projection
+// that silently dropped or doubled a column would corrupt every
+// downstream consumer.
+func ProjectCols(have, want []string) ([]int, error) {
+	if len(want) == 0 {
+		return nil, nil
+	}
+	idx := make([]int, len(want))
+	seen := make(map[string]bool, len(want))
+	for i, name := range want {
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate column %q in projection", name)
+		}
+		seen[name] = true
+		pos := -1
+		for j, h := range have {
+			if h == name {
+				pos = j
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("no column %q (have %s)", name, strings.Join(have, ", "))
+		}
+		idx[i] = pos
+	}
+	return idx, nil
+}
+
+// Project resolves a column projection over this generator's tuple
+// order (0 is the pk, then non-key columns, then FKs) — ProjectCols
+// against ColNames, with the relation named in errors.
+func (g *Generator) Project(cols []string) ([]int, error) {
+	idx, err := ProjectCols(g.ColNames(), cols)
+	if err != nil {
+		return nil, fmt.Errorf("tuplegen: %s: %w", g.rs.Table, err)
+	}
+	return idx, nil
+}
+
 // Batch fills b (allocating or reusing its buffers) with up to n tuples
 // starting at startPK, clamped to the relation's cardinality, and returns
 // it. Passing nil allocates a fresh batch. The prefix walk happens once per
@@ -50,26 +124,7 @@ func (g *Generator) Batch(startPK int64, n int, b *Batch) *Batch {
 			n = 0
 		}
 	}
-	ncols := g.NumCols()
-	if len(b.Cols) != ncols {
-		// Reshape without dropping column buffers: a batch recycled
-		// across relations of different widths (the engine pools them)
-		// keeps its per-column allocations.
-		if cap(b.Cols) < ncols {
-			cols := make([][]int64, ncols)
-			copy(cols, b.Cols[:cap(b.Cols)])
-			b.Cols = cols
-		} else {
-			b.Cols = b.Cols[:ncols]
-		}
-	}
-	for i := range b.Cols {
-		if cap(b.Cols[i]) < n {
-			b.Cols[i] = make([]int64, n)
-		}
-		b.Cols[i] = b.Cols[i][:n]
-	}
-	b.Start, b.N = startPK, n
+	b.Reshape(g.NumCols(), n, startPK)
 	if n == 0 {
 		return b
 	}
@@ -108,6 +163,86 @@ func (g *Generator) Batch(startPK int64, n int, b *Batch) *Batch {
 			}
 			for i := range seg {
 				seg[i] = fk
+			}
+		}
+		filled += m
+		pk += int64(m)
+		j++
+	}
+	return b
+}
+
+// BatchCols is Batch under a column projection: only the columns named by
+// idx (tuple-order positions from Project) are generated, in idx order.
+// A nil idx selects every column, making BatchCols(.., nil) identical to
+// Batch. The fill strategy is the same — one prefix walk per summary-row
+// span, constant/arithmetic segment loops per column — so a projected
+// scan pays for exactly the columns it reads. Out-of-range indices panic,
+// like Row on an out-of-range pk: projections are resolved by Project
+// before generation sits on the hot path.
+func (g *Generator) BatchCols(startPK int64, n int, b *Batch, idx []int) *Batch {
+	if idx == nil {
+		return g.Batch(startPK, n, b)
+	}
+	if b == nil {
+		b = &Batch{}
+	}
+	if startPK < 1 {
+		startPK = 1
+	}
+	if last := g.NumRows(); startPK+int64(n)-1 > last {
+		n = int(last - startPK + 1)
+		if n < 0 {
+			n = 0
+		}
+	}
+	ncols := g.NumCols()
+	for _, src := range idx {
+		if src < 0 || src >= ncols {
+			panic(fmt.Sprintf("tuplegen: projection index %d out of range [0,%d) for %s", src, ncols, g.rs.Table))
+		}
+	}
+	b.Reshape(len(idx), n, startPK)
+	if n == 0 {
+		return b
+	}
+	j := sort.Search(len(g.prefix), func(i int) bool { return g.prefix[i] >= startPK }) - 1
+	nvals := len(g.rs.Cols)
+	filled := 0
+	pk := startPK
+	for filled < n {
+		row := &g.rs.Rows[j]
+		m := int(g.prefix[j+1] - pk + 1)
+		if m > n-filled {
+			m = n - filled
+		}
+		spread := g.spread && len(row.FKSpans) == len(row.FKs)
+		for c, src := range idx {
+			seg := b.Cols[c][filled : filled+m]
+			switch {
+			case src == 0:
+				for i := range seg {
+					seg[i] = pk + int64(i)
+				}
+			case src <= nvals:
+				v := row.Vals[src-1]
+				for i := range seg {
+					seg[i] = v
+				}
+			default:
+				fc := src - 1 - nvals
+				fk := row.FKs[fc]
+				if spread && row.FKSpans[fc] > 1 {
+					span := row.FKSpans[fc]
+					off := pk - g.prefix[j] - 1
+					for i := range seg {
+						seg[i] = fk + (off+int64(i))%span
+					}
+					continue
+				}
+				for i := range seg {
+					seg[i] = fk
+				}
 			}
 		}
 		filled += m

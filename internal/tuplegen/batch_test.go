@@ -171,3 +171,74 @@ func TestBatchSpreadPreservesJoinCardinalities(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchColsMatchesBatch: for random projections, ranges, and both
+// FK-spread settings, BatchCols must produce exactly the projected
+// columns of the full batch, in projection order.
+func TestBatchColsMatchesBatch(t *testing.T) {
+	for _, spread := range []bool{false, true} {
+		g := New(spreadRS())
+		g.SetFKSpread(spread)
+		rng := rand.New(rand.NewSource(11))
+		var full, proj *Batch
+		for trial := 0; trial < 200; trial++ {
+			start := rng.Int63n(g.NumRows()) + 1
+			n := rng.Intn(700) + 1
+			// A random non-empty subset of columns in random order.
+			perm := rng.Perm(g.NumCols())
+			idx := perm[:rng.Intn(g.NumCols())+1]
+			full = g.Batch(start, n, full)
+			proj = g.BatchCols(start, n, proj, idx)
+			if proj.N != full.N || proj.Start != full.Start || len(proj.Cols) != len(idx) {
+				t.Fatalf("spread=%v BatchCols(%d,%d,%v): N=%d Start=%d cols=%d",
+					spread, start, n, idx, proj.N, proj.Start, len(proj.Cols))
+			}
+			for c, src := range idx {
+				for i := 0; i < proj.N; i++ {
+					if proj.Cols[c][i] != full.Cols[src][i] {
+						t.Fatalf("spread=%v pk %d: projected col %d (src %d) = %d, want %d",
+							spread, start+int64(i), c, src, proj.Cols[c][i], full.Cols[src][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchColsNilIsBatch: a nil projection is the identity.
+func TestBatchColsNilIsBatch(t *testing.T) {
+	g := New(spreadRS())
+	full := g.Batch(10, 100, nil)
+	same := g.BatchCols(10, 100, nil, nil)
+	if len(same.Cols) != len(full.Cols) || same.N != full.N {
+		t.Fatalf("nil projection reshaped the batch")
+	}
+	for c := range full.Cols {
+		for i := 0; i < full.N; i++ {
+			if same.Cols[c][i] != full.Cols[c][i] {
+				t.Fatalf("col %d row %d differs", c, i)
+			}
+		}
+	}
+}
+
+// TestProject resolves names and rejects mistakes.
+func TestProject(t *testing.T) {
+	g := New(spreadRS())
+	idx, err := g.Project([]string{"t_fk", "R_pk", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 3 || idx[0] != 3 || idx[1] != 0 || idx[2] != 1 {
+		t.Fatalf("idx = %v", idx)
+	}
+	if idx, err := g.Project(nil); err != nil || idx != nil {
+		t.Fatalf("nil projection: %v %v", idx, err)
+	}
+	if _, err := g.Project([]string{"nope"}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := g.Project([]string{"A", "A"}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}

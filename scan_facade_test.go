@@ -1,0 +1,93 @@
+package hydra_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	hydra "github.com/dsl-repro/hydra"
+)
+
+// startFleetMember serves the summary on a loopback server and returns
+// its base URL.
+func startFleetMember(t *testing.T, sum *hydra.Summary) string {
+	t.Helper()
+	h, err := hydra.NewServeHandler(sum, hydra.ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestScanFacadeThreeBackends drives the facade end to end on the
+// Figure 1 scenario: summary, materialized directory, and a served
+// fleet must encode the identical bytes for the same ScanSpec — the
+// public face of the conformance contract.
+func TestScanFacadeThreeBackends(t *testing.T) {
+	res := regenerateFigure1(t, hydra.Config{})
+
+	dir := t.TempDir()
+	if _, err := hydra.Materialize(res.Summary, hydra.MaterializeOptions{
+		Dir: dir, Format: "csv", Workers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := hydra.OpenDirSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetURL := startFleetMember(t, res.Summary)
+	rs, err := hydra.NewRemoteSource([]string{fleetURL}, hydra.RemoteSourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := hydra.ScanSpec{Table: "R", Columns: []string{"R_pk", "S_fk"}, StartPK: 500, EndPK: 60000, BatchRows: 4096}
+	encode := func(src hydra.Source) []byte {
+		t.Helper()
+		sc, err := src.Scan(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		var buf bytes.Buffer
+		if _, err := hydra.EncodeScan(&buf, sc, "csv"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := encode(hydra.NewSummarySource(res.Summary))
+	if got := encode(ds); !bytes.Equal(got, want) {
+		t.Fatalf("dir scan differs from summary scan (%d vs %d bytes)", len(got), len(want))
+	}
+	if got := encode(rs); !bytes.Equal(got, want) {
+		t.Fatalf("remote scan differs from summary scan (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestRegenerateContextCancel: an already-canceled context aborts the
+// pipeline with the context's error.
+func TestRegenerateContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := hydra.RegenerateContext(ctx, figure1Schema(t), figure1Workload(), hydra.Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRegenerateWrapperUnchanged: the wrapper still produces a full
+// result (the compatibility contract for existing callers).
+func TestRegenerateWrapperUnchanged(t *testing.T) {
+	res, err := hydra.Regenerate(figure1Schema(t), figure1Workload(), hydra.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary == nil || len(res.Summary.Relations) != 3 {
+		t.Fatalf("summary = %+v", res.Summary)
+	}
+}
