@@ -59,6 +59,10 @@ type Doc struct {
 	GOARCH     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Loadgen embeds a `hydra loadgen -json` report (verbatim), putting
+	// the run's p50/p99 latency numbers in the same artifact as the
+	// microbenchmarks; absent when CI ran no load test.
+	Loadgen json.RawMessage `json:"loadgen,omitempty"`
 }
 
 func main() {
@@ -66,11 +70,24 @@ func main() {
 	metric := flag.String("metric", "tuples/s", "higher-is-better metric compared against the baseline")
 	maxRegress := flag.Float64("max-regress", 0.25, "fail when the metric drops more than this fraction below baseline")
 	benches := flag.String("benches", "", "regexp restricting which benchmarks the baseline diff covers (default all)")
+	loadgenPath := flag.String("loadgen", "", "hydra loadgen -json report to embed in the artifact")
 	flag.Parse()
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hydra-benchjson:", err)
 		os.Exit(1)
+	}
+	if *loadgenPath != "" {
+		raw, err := os.ReadFile(*loadgenPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hydra-benchjson: -loadgen:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "hydra-benchjson: -loadgen: %s is not valid JSON\n", *loadgenPath)
+			os.Exit(1)
+		}
+		doc.Loadgen = json.RawMessage(raw)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

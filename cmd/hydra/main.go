@@ -32,10 +32,14 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -45,6 +49,7 @@ import (
 	"time"
 
 	hydra "github.com/dsl-repro/hydra"
+	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/summary"
 )
@@ -68,6 +73,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "scan":
 		err = cmdScan(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
 	case "demo":
@@ -97,10 +104,13 @@ usage:
                     [-workers K] [-compress gzip] [-retries R] [-tables a,b] [-fkspread]
                     [-runners http://a,http://b] [-verify-only]
   hydra serve       -summary summary.json [-addr 127.0.0.1:8372] [-max-streams N]
-                    [-rate-limit rows/s] [-workers K]
+                    [-rate-limit rows/s] [-workers K] [-debug-addr 127.0.0.1:8373] [-log-streams]
   hydra scan        -table T (-summary summary.json | -dir out/ | -remote http://a,http://b)
                     [-columns a,b] [-range A:B] [-shard i/N] [-format csv|jsonl|sql|heap]
                     [-batch N] [-rate rows/s] [-fkspread] [-timeout d] [-o file]
+  hydra loadgen     (-summary summary.json | -dir out/ | -remote http://a,http://b)
+                    [-c 8] [-d 10s] [-rows-per-request 10000] [-tables a,b] [-batch N]
+                    [-max-requests N] [-seed S] [-json]
   hydra generate    -summary summary.json -table T [-n 10] [-from 1]
   hydra demo
 `)
@@ -282,13 +292,17 @@ func cmdMaterialize(args []string) error {
 		total += rep.Rows
 		elapsed += rep.Elapsed
 	}
-	rate := float64(0)
-	if elapsed > 0 {
-		rate = float64(total) / elapsed.Seconds()
-	}
-	fmt.Printf("materialized %d tuples in %v (%.0f rows/sec, format %s)\n",
-		total, elapsed.Round(time.Millisecond), rate, *format)
+	fmt.Printf("materialized %s\n", rowStats(total, elapsed, *format))
 	return nil
+}
+
+// rowStats is the one rows/s report every batch verb shares — scan and
+// materialize both compute throughput through obs.PerSec, the same
+// function the metrics layer records with, so the CLI line and a
+// scraped counter can never disagree on arithmetic.
+func rowStats(rows int64, elapsed time.Duration, format string) string {
+	return fmt.Sprintf("%d rows in %v (%.0f rows/sec, format %s)",
+		rows, elapsed.Round(time.Millisecond), obs.PerSec(rows, elapsed), format)
 }
 
 func cmdOrchestrate(args []string) error {
@@ -407,6 +421,8 @@ func cmdServe(args []string) error {
 	maxStreams := fs.Int("max-streams", 0, "concurrent table streams + shard jobs (0 = unlimited); excess requests get 503")
 	rateLimit := fs.Float64("rate-limit", 0, "per-stream rows/s cap (0 = unlimited); clients may request lower, never higher")
 	workers := fs.Int("workers", 0, "encode workers per shard job when the request leaves it unset (0 = GOMAXPROCS)")
+	debugAddr := fs.String("debug-addr", "", "second listener with /debug/pprof/* and /metrics (e.g. 127.0.0.1:8373); empty disables")
+	logStreams := fs.Bool("log-streams", false, "log one structured line per completed table stream to stderr")
 	fs.Parse(args)
 	if *sumPath == "" {
 		return fmt.Errorf("serve: -summary is required")
@@ -423,14 +439,40 @@ func cmdServe(args []string) error {
 		len(sum.Relations), rows, *addr)
 	fmt.Printf("  GET  http://%s/v1/tables/{table}?format=csv|jsonl|sql|heap&compress=gzip&shard=i/N&offset=K\n", *addr)
 	fmt.Printf("  POST http://%s/v1/shardjobs   (hydra orchestrate -runners http://%s)\n", *addr, *addr)
+	fmt.Printf("  GET  http://%s/metrics        (Prometheus text format)\n", *addr)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return hydra.Serve(ctx, *addr, sum, hydra.ServeOptions{
+	if *debugAddr != "" {
+		// The debug listener carries the operator surface — pprof and the
+		// metrics scrape — on its own address so the data-plane port can
+		// be exposed to clients without also exposing profiles. The same
+		// metrics remain on the main mux for single-port deployments.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", hydra.MetricsHandler())
+		dsrv := &http.Server{Addr: *debugAddr, Handler: dmux}
+		defer context.AfterFunc(ctx, func() { dsrv.Close() })()
+		go func() {
+			fmt.Printf("  debug: http://%s/debug/pprof/ and http://%s/metrics\n", *debugAddr, *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "hydra: debug listener:", err)
+			}
+		}()
+	}
+	opts := hydra.ServeOptions{
 		MaxStreams: *maxStreams,
 		RateLimit:  *rateLimit,
 		Workers:    *workers,
 		Log:        log.New(os.Stderr, "", log.LstdFlags),
-	})
+	}
+	if *logStreams {
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return hydra.Serve(ctx, *addr, sum, opts)
 }
 
 func codecSuffix(codec string) string {
@@ -517,39 +559,9 @@ func cmdScan(args []string) error {
 		spec.Shard, spec.Shards = i-1, n
 	}
 
-	backends := 0
-	for _, set := range []bool{*sumPath != "", *dir != "", *remote != ""} {
-		if set {
-			backends++
-		}
-	}
-	if backends != 1 {
-		return fmt.Errorf("scan: exactly one of -summary, -dir, -remote selects the backend")
-	}
-	var src hydra.Source
-	switch {
-	case *sumPath != "":
-		sum, err := summary.Load(*sumPath)
-		if err != nil {
-			return err
-		}
-		src = hydra.NewSummarySource(sum)
-	case *dir != "":
-		ds, err := hydra.OpenDirSource(*dir)
-		if err != nil {
-			return err
-		}
-		src = ds
-	default:
-		var urls []string
-		for _, u := range strings.Split(*remote, ",") {
-			urls = append(urls, strings.TrimSpace(u))
-		}
-		rs, err := hydra.NewRemoteSource(urls, hydra.RemoteSourceOptions{})
-		if err != nil {
-			return err
-		}
-		src = rs
+	src, _, err := openSource("scan", *sumPath, *dir, *remote)
+	if err != nil {
+		return err
 	}
 	defer src.Close()
 
@@ -579,14 +591,122 @@ func cmdScan(args []string) error {
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-	perSec := float64(0)
-	if elapsed > 0 {
-		perSec = float64(rows) / elapsed.Seconds()
-	}
-	fmt.Fprintf(os.Stderr, "scanned %d rows of %s in %v (%.0f rows/sec, format %s)\n",
-		rows, *table, elapsed.Round(time.Millisecond), perSec, *format)
+	fmt.Fprintf(os.Stderr, "scanned %s: %s\n", *table, rowStats(rows, time.Since(start), *format))
 	return nil
+}
+
+// openSource resolves the -summary/-dir/-remote backend triple every
+// scan-path verb shares: exactly one must be set. The second return
+// names the backend for reports.
+func openSource(verb, sumPath, dir, remote string) (hydra.Source, string, error) {
+	backends := 0
+	for _, set := range []bool{sumPath != "", dir != "", remote != ""} {
+		if set {
+			backends++
+		}
+	}
+	if backends != 1 {
+		return nil, "", fmt.Errorf("%s: exactly one of -summary, -dir, -remote selects the backend", verb)
+	}
+	switch {
+	case sumPath != "":
+		sum, err := summary.Load(sumPath)
+		if err != nil {
+			return nil, "", err
+		}
+		return hydra.NewSummarySource(sum), "summary", nil
+	case dir != "":
+		ds, err := hydra.OpenDirSource(dir)
+		if err != nil {
+			return nil, "", err
+		}
+		return ds, "dir", nil
+	default:
+		var urls []string
+		for _, u := range strings.Split(remote, ",") {
+			urls = append(urls, strings.TrimSpace(u))
+		}
+		rs, err := hydra.NewRemoteSource(urls, hydra.RemoteSourceOptions{})
+		if err != nil {
+			return nil, "", err
+		}
+		return rs, "fleet", nil
+	}
+}
+
+// cmdLoadgen drives concurrent ranged scans against any backend and
+// prints throughput plus p50/p95/p99/p999 request latency — the
+// client's side of the observability story, against the fleet's own
+// /metrics histograms. A run with failed requests exits non-zero, so
+// CI can use it as a smoke gate.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	sumPath := fs.String("summary", "", "summary JSON: load the in-process regeneration path")
+	dir := fs.String("dir", "", "materialized directory: load the decode path")
+	remote := fs.String("remote", "", "comma-separated serve URLs: load the fleet")
+	tables := fs.String("tables", "", "comma-separated subset of relations (default all)")
+	conc := fs.Int("c", 0, "concurrent workers (0 = default 8)")
+	dur := fs.Duration("d", 0, "run duration (0 = default 10s)")
+	rowsPerReq := fs.Int64("rows-per-request", 0, "pk-range size of each request (0 = default 10000)")
+	batch := fs.Int("batch", 0, "rows per batch (0 = backend default)")
+	maxReqs := fs.Int64("max-requests", 0, "stop after this many requests even before -d elapses (0 = unlimited)")
+	seed := fs.Int64("seed", 0, "workload seed; same seed, same request sequence (0 = 1)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON on stdout (human summary goes to stderr)")
+	fs.Parse(args)
+	src, backend, err := openSource("loadgen", *sumPath, *dir, *remote)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	opts := hydra.LoadgenOptions{
+		Source:         src,
+		Concurrency:    *conc,
+		Duration:       *dur,
+		RowsPerRequest: *rowsPerReq,
+		BatchRows:      *batch,
+		MaxRequests:    *maxReqs,
+		Seed:           *seed,
+	}
+	if *tables != "" {
+		for _, name := range strings.Split(*tables, ",") {
+			opts.Tables = append(opts.Tables, strings.TrimSpace(name))
+		}
+	}
+	ctx, cancel := timeoutContext(0)
+	defer cancel()
+	rep, err := hydra.Loadgen(ctx, opts)
+	if err != nil {
+		return err
+	}
+	rep.Backend = backend
+	human := io.Writer(os.Stdout)
+	if *asJSON {
+		human = os.Stderr
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(human, "loadgen: %s backend, %d workers, %d requests (%d rows) in %.1fs\n",
+		rep.Backend, rep.Concurrency, rep.Requests, rep.Rows, rep.ElapsedSec)
+	fmt.Fprintf(human, "  throughput  %.0f rows/s, %.1f requests/s\n", rep.RowsPerSec, rep.ReqPerSec)
+	fmt.Fprintf(human, "  latency     p50 %s  p95 %s  p99 %s  p99.9 %s  max %s\n",
+		fmtSeconds(rep.Latency.P50), fmtSeconds(rep.Latency.P95),
+		fmtSeconds(rep.Latency.P99), fmtSeconds(rep.Latency.P999), fmtSeconds(rep.Latency.Max))
+	if rep.Errors > 0 {
+		for _, msg := range rep.ErrorSamples {
+			fmt.Fprintf(os.Stderr, "  error: %s\n", msg)
+		}
+		return fmt.Errorf("loadgen: %d of %d requests failed", rep.Errors, rep.Requests)
+	}
+	fmt.Fprintf(human, "  errors      0\n")
+	return nil
+}
+
+// fmtSeconds renders a latency sample with duration units.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 func cmdGenerate(args []string) error {

@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/scan"
+	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+// testSummary mirrors the scan package's fixture: two relations, small
+// enough to scan in microseconds, so MaxRequests (not Duration) bounds
+// the runs below.
+func testSummary() *summary.Summary {
+	tRel := &summary.RelationSummary{
+		Table: "T", Cols: []string{"C"},
+		Rows: []summary.RelRow{
+			{Vals: []int64{2}, Count: 900},
+			{Vals: []int64{7}, Count: 613},
+		},
+		Total: 1513,
+	}
+	sRel := &summary.RelationSummary{
+		Table: "S", Cols: []string{"A", "B"}, FKCols: []string{"t_fk"}, FKRefs: []string{"T"},
+		Rows: []summary.RelRow{
+			{Vals: []int64{20, 15}, FKs: []int64{1}, FKSpans: []int64{900}, Count: 3001},
+			{Vals: []int64{20, 40}, FKs: []int64{901}, FKSpans: []int64{613}, Count: 2500},
+			{Vals: []int64{61, 15}, FKs: []int64{1}, FKSpans: []int64{900}, Count: 2707},
+		},
+		Total: 8208,
+	}
+	return &summary.Summary{Relations: map[string]*summary.RelationSummary{"S": sRel, "T": tRel}}
+}
+
+func TestRunAgainstSummarySource(t *testing.T) {
+	src := scan.NewSummarySource(testSummary())
+	rep, err := Run(context.Background(), Options{
+		Source:         src,
+		Concurrency:    4,
+		Duration:       30 * time.Second, // the request budget ends the run long before this
+		RowsPerRequest: 500,
+		MaxRequests:    50,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch {
+	case rep.Requests != 50:
+		t.Fatalf("requests %d, want 50", rep.Requests)
+	case rep.Errors != 0:
+		t.Fatalf("errors %d: %v", rep.Errors, rep.ErrorSamples)
+	case rep.Rows <= 0:
+		t.Fatalf("rows %d", rep.Rows)
+	case rep.RowsPerSec <= 0 || rep.ReqPerSec <= 0:
+		t.Fatalf("rates %+v", rep)
+	case rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 || rep.Latency.Max < rep.Latency.P99:
+		t.Fatalf("latency not ordered: %+v", rep.Latency)
+	case rep.Concurrency != 4:
+		t.Fatalf("concurrency %d", rep.Concurrency)
+	}
+}
+
+func TestRunTableSubsetAndErrors(t *testing.T) {
+	src := scan.NewSummarySource(testSummary())
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Fatal("no error without a Source")
+	}
+	if _, err := Run(context.Background(), Options{Source: src, Tables: []string{"nope"}}); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown table error = %v", err)
+	}
+	rep, err := Run(context.Background(), Options{
+		Source: src, Tables: []string{"T"},
+		Concurrency: 2, MaxRequests: 8, RowsPerRequest: 100,
+		Duration: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 8 || rep.Errors != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	// Ranges are clamped to T's 1513 rows; 8 requests of <=100 rows each.
+	if rep.Rows <= 0 || rep.Rows > 8*100 {
+		t.Fatalf("rows %d out of range for 8x100-row requests", rep.Rows)
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Options{Source: scan.NewSummarySource(testSummary()), Duration: 30 * time.Second})
+	if err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	if rep == nil {
+		t.Fatal("canceled run returned no report")
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	var samples []float64
+	for i := 1; i <= 1000; i++ {
+		samples = append(samples, float64(i))
+	}
+	l := summarize(samples)
+	if l.P50 != 500 || l.P95 != 950 || l.P99 != 990 || l.P999 != 999 || l.Max != 1000 {
+		t.Fatalf("percentiles %+v", l)
+	}
+	if l.Mean != 500.5 {
+		t.Fatalf("mean %v", l.Mean)
+	}
+	if got := summarize(nil); got != (Latency{}) {
+		t.Fatalf("empty summarize %+v", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/dsl-repro/hydra/internal/rate"
 	"github.com/dsl-repro/hydra/internal/summary"
@@ -287,7 +288,11 @@ func (sp *StreamPlan) Run(ctx context.Context, w io.Writer) (*StreamReport, erro
 			if err := lim.WaitN(ctx, hi-lo); err != nil {
 				return rep, err
 			}
+			t0 := time.Now()
 			*buf = encodeChunk(t, enc, se, b, (*buf)[:0], lo, hi)
+			mEncodeSeconds.AddDuration(time.Since(t0))
+			t.m.rows.Add(hi - lo)
+			t.m.chunks.Inc()
 			rep.RawBytes += int64(len(*buf))
 			if err := writeFramed(cw, p.comp, *buf); err != nil {
 				return rep, err

@@ -1,0 +1,486 @@
+// Package obs is Hydra's observability kernel: a small, stdlib-only
+// metrics library — atomic counters, gauges, and fixed-bucket histograms
+// behind a process-global Registry — with a Prometheus text-format
+// (v0.0.4) exposition writer. Every hot layer of the system (matgen's
+// worker pool, serve's HTTP data plane, scan's three backends,
+// orchestrate's shard scheduler, rate's limiter) records into it, and
+// `GET /metrics` on a serving fleet scrapes it, which is what turns
+// "serves heavy traffic" from a claim into a number.
+//
+// The design center is the record path: Counter.Add, Gauge.Set, and
+// Histogram.Observe are single atomic operations (a short CAS loop for
+// float sums), never allocate, and never take a lock — so they can sit
+// inside the zero-allocation encode pipeline without disturbing its
+// AllocsPerRun pins. All allocation happens at metric-creation time
+// (Registry lookups render label strings); instrumented code resolves
+// its metric pointers at setup and holds them across the hot loop.
+//
+// Metric families follow Prometheus conventions: `hydra_<layer>_<what>`
+// names, `_total` suffixes on counters, `_seconds` units on durations,
+// and label sets kept small and bounded (table names, worker ids,
+// routes — never per-request values).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair attached to a metric. Keep value sets
+// small and bounded — they become Prometheus time series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing integer. The zero value is
+// ready to use; Registry.Counter hands out registered ones.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is a programming error and is
+// ignored, keeping the counter monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float — the shape of
+// cumulative-seconds metrics (`_seconds_total`). Adds are a CAS loop on
+// the value's bits: lock-free and allocation-free.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by v (negative or NaN values are ignored).
+func (c *FloatCounter) Add(v float64) {
+	if !(v > 0) { // rejects v <= 0 and NaN in one comparison
+		return
+	}
+	for {
+		old := c.bits.Load()
+		cur := math.Float64frombits(old)
+		if c.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// AddDuration adds d in seconds.
+func (c *FloatCounter) AddDuration(d time.Duration) { c.Add(d.Seconds()) }
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an integer that can go up and down — in-flight streams,
+// configured capacities.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution — latencies, rows per
+// request. Buckets are cumulative at exposition time (Prometheus `le`
+// semantics) but independent atomics on the record path: Observe does
+// one linear scan over the bounds, one atomic increment, and one CAS
+// float add, with no locking and no allocation.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf bucket is implicit
+	counts []atomic.Int64
+	sum    FloatCounter
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the seconds elapsed since t0 — the one-liner for
+// latency instrumentation: defer h.ObserveSince(time.Now()) or an
+// explicit stamp around the timed section.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) from the
+// bucket counts: the upper bound of the bucket the quantile falls in
+// (+Inf collapses to the largest finite bound). It is the scrape-side
+// approximation Prometheus itself would compute; exact percentiles come
+// from raw samples (see internal/loadgen).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DurationBuckets are the default latency bounds in seconds: 500µs to
+// 30s, roughly ×2.5 per step — wide enough to cover a cache-warm chunk
+// encode and a rate-limited whole-table stream in one family.
+var DurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// ExpBuckets returns n bounds starting at start, each factor× the
+// previous — for row counts, byte sizes, and other scale-free
+// distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// PerSec is the one rows-per-second computation every layer shares —
+// CLI stderr stats, reports, loadgen summaries — so throughput means
+// the same thing everywhere it is printed.
+func PerSec(n int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+// kind is a metric family's Prometheus type.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// family is one named metric family: every label combination under one
+// name, help string, and type.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64 // histograms only
+
+	mu      sync.Mutex
+	metrics map[string]any // rendered label string → *Counter/*FloatCounter/*Gauge/*Histogram
+	float   bool           // counter families: float-valued
+}
+
+// Registry holds metric families and writes them in Prometheus text
+// format. The zero Registry is not usable; call NewRegistry. Most code
+// uses the process-global Default.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry. Use it in tests that need
+// deterministic exposition; production code shares Default.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Default is the process-global registry every instrumented layer
+// records into and `GET /metrics` exposes.
+var Default = NewRegistry()
+
+// family returns the named family, creating it with the given shape on
+// first use. Re-registering a name with a different kind is a
+// programming error and panics — silently splitting one name across two
+// types would corrupt the exposition.
+func (r *Registry) family(name, help string, k kind, bounds []float64) *family {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.fams[name]; f == nil {
+			f = &family{name: name, help: help, kind: k, bounds: bounds,
+				metrics: make(map[string]any)}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	return f
+}
+
+// get resolves one label combination inside a family, creating the
+// metric with mk on first use.
+func (f *family) get(labels []Label, mk func() any) any {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.metrics[key]
+	if m == nil {
+		m = mk()
+		f.metrics[key] = m
+	}
+	return m
+}
+
+// Counter returns the registered counter for the name and label set,
+// creating it on first use. Safe for concurrent use; the same
+// (name, labels) always yields the same *Counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, kindCounter, nil)
+	return f.get(labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// FloatCounter returns the registered float counter (cumulative
+// seconds and other fractional totals) for the name and label set.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	f := r.family(name, help, kindCounter, nil)
+	f.mu.Lock()
+	f.float = true
+	f.mu.Unlock()
+	return f.get(labels, func() any { return new(FloatCounter) }).(*FloatCounter)
+}
+
+// Gauge returns the registered gauge for the name and label set.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.family(name, help, kindGauge, nil)
+	return f.get(labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the registered histogram for the name and label
+// set. The first registration of a name fixes the family's bucket
+// bounds; later calls may pass nil to reuse them.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	f := r.family(name, help, kindHistogram, bounds)
+	return f.get(labels, func() any {
+		return &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+	}).(*Histogram)
+}
+
+// renderLabels renders a label set into its exposition form —
+// `{a="x",b="y"}` — which doubles as the metric's identity inside its
+// family. Empty label sets render empty.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus writes every family in Prometheus text format
+// (v0.0.4), families sorted by name and series sorted by label string,
+// so output is deterministic for a deterministic workload.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.metrics))
+	for k := range f.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	metrics := make([]any, len(keys))
+	for i, k := range keys {
+		metrics[i] = f.metrics[k]
+	}
+	f.mu.Unlock()
+	if len(metrics) == 0 {
+		return
+	}
+
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for i, key := range keys {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			b.WriteString(f.name)
+			b.WriteString(key)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(m.Value(), 10))
+			b.WriteByte('\n')
+		case *FloatCounter:
+			b.WriteString(f.name)
+			b.WriteString(key)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(m.Value()))
+			b.WriteByte('\n')
+		case *Gauge:
+			b.WriteString(f.name)
+			b.WriteString(key)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(m.Value(), 10))
+			b.WriteByte('\n')
+		case *Histogram:
+			writeHistogram(b, f.name, key, m)
+		}
+	}
+}
+
+// writeHistogram emits one series' cumulative buckets, sum, and count.
+// The count is derived from the same bucket loads that produce the
+// `le` lines, so `_count` always equals the `+Inf` bucket even under
+// concurrent observation.
+func writeHistogram(b *strings.Builder, name, key string, h *Histogram) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeBucket(b, name, key, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeBucket(b, name, key, "+Inf", cum)
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(key)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(key)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(cum, 10))
+	b.WriteByte('\n')
+}
+
+func writeBucket(b *strings.Builder, name, key, le string, cum int64) {
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	if key == "" {
+		b.WriteString(`{le="`)
+	} else {
+		b.WriteString(key[:len(key)-1]) // reopen the rendered label set
+		b.WriteString(`,le="`)
+	}
+	b.WriteString(le)
+	b.WriteString(`"} `)
+	b.WriteString(strconv.FormatInt(cum, 10))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the `GET /metrics` endpoint over this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

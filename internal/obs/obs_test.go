@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the exposition golden file")
+
+// deterministicWorkload drives a fresh registry through every metric
+// kind with fixed values — the workload behind the golden file.
+func deterministicWorkload(r *Registry) {
+	rows := r.Counter("hydra_test_rows_total", "rows regenerated", L("table", "R"))
+	rows.Add(80000)
+	r.Counter("hydra_test_rows_total", "rows regenerated", L("table", "S")).Add(700)
+	r.Counter("hydra_test_rows_total", "rows regenerated", L("table", "T")).Add(1500)
+	r.FloatCounter("hydra_test_encode_seconds_total", "time spent encoding").Add(1.5)
+	r.FloatCounter("hydra_test_encode_seconds_total", "time spent encoding").Add(0.25)
+	g := r.Gauge("hydra_test_in_flight", "streams in flight")
+	g.Set(7)
+	g.Dec()
+	h := r.Histogram("hydra_test_latency_seconds", "request latency",
+		[]float64{0.01, 0.1, 1}, L("route", "tables"))
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 2, 0.007} {
+		h.Observe(v)
+	}
+	// A second series in the same family, and an escaping stress.
+	r.Histogram("hydra_test_latency_seconds", "request latency", nil, L("route", "jobs")).Observe(0.02)
+	r.Counter("hydra_test_odd_total", "label \"escaping\"\ncheck", L("k", "a\"b\\c\nd")).Inc()
+}
+
+// TestPrometheusGolden pins the full exposition format — HELP/TYPE
+// lines, sorted families and series, cumulative buckets, sum/count,
+// label escaping — against a committed golden file.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	deterministicWorkload(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_metrics.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestExpositionDeterministic: two identical workloads expose
+// byte-identical text, regardless of map iteration order.
+func TestExpositionDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	for _, buf := range []*bytes.Buffer{&a, &b} {
+		r := NewRegistry()
+		deterministicWorkload(r)
+		if err := r.WritePrometheus(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two identical workloads exposed differently:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+// TestConcurrentRecording hammers one counter, one float counter, one
+// gauge, and one histogram from 16 goroutines (the CI race job runs
+// this under -race) and checks the totals are exact.
+func TestConcurrentRecording(t *testing.T) {
+	const goroutines, perG = 16, 10000
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	fc := r.FloatCounter("fc_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 2, 3})
+	var wg sync.WaitGroup
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(2)
+				fc.Add(0.5)
+				g.Inc()
+				h.Observe(float64(i % 5))
+				// Concurrent get-or-create of the same series must
+				// return the one metric, not shadow copies.
+				if r.Counter("c_total", "") != c {
+					t.Error("Counter lookup returned a different instance")
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 2*goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, 2*goroutines*perG)
+	}
+	if got := fc.Value(); got != 0.5*goroutines*perG {
+		t.Errorf("float counter = %v, want %v", got, 0.5*goroutines*perG)
+	}
+	if got := g.Value(); got != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordPathAllocs pins the property the encode pipeline depends
+// on: recording into any metric allocates nothing.
+func TestRecordPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	fc := r.FloatCounter("fc_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	t0 := time.Now()
+	for name, fn := range map[string]func(){
+		"Counter.Add":            func() { c.Add(3) },
+		"FloatCounter.Add":       func() { fc.Add(0.125) },
+		"Gauge.Set":              func() { g.Set(42) },
+		"Histogram.Observe":      func() { h.Observe(0.01) },
+		"Histogram.ObserveSince": func() { h.ObserveSince(t0) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per call, want 0", name, allocs)
+		}
+	}
+}
+
+// TestHistogramQuantile sanity-checks the bucket-bound quantile
+// estimate used for scrape-side summaries.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 10, 100})
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5) // bucket le=1
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(5) // bucket le=10
+	}
+	h.Observe(50) // bucket le=100
+	if q := h.Quantile(0.50); q != 1 {
+		t.Errorf("p50 = %v, want 1", q)
+	}
+	if q := h.Quantile(0.95); q != 10 {
+		t.Errorf("p95 = %v, want 10", q)
+	}
+	if q := h.Quantile(0.999); q != 100 {
+		t.Errorf("p999 = %v, want 100", q)
+	}
+	h.Observe(1e9) // +Inf bucket collapses to the largest finite bound
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("p100 with +Inf observation = %v, want 100", q)
+	}
+}
+
+// TestKindMismatchPanics pins that one name cannot be two types.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestPerSec pins the shared throughput computation.
+func TestPerSec(t *testing.T) {
+	if got := PerSec(1000, 2*time.Second); got != 500 {
+		t.Errorf("PerSec = %v, want 500", got)
+	}
+	if got := PerSec(1000, 0); got != 0 {
+		t.Errorf("PerSec with zero elapsed = %v, want 0", got)
+	}
+}

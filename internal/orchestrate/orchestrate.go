@@ -23,7 +23,24 @@ import (
 	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/summary"
+)
+
+// Job-level observability: attempts vs retries (and why the retries
+// happened), per-shard wall time, and final shard outcomes — enough to
+// see a flapping runner or a pathological shard from /metrics alone.
+var (
+	mShardAttempts = obs.Default.Counter("hydra_orchestrate_shard_attempts_total",
+		"shard job runs, including retries")
+	mShardRetriesErr = obs.Default.Counter("hydra_orchestrate_shard_retries_total",
+		"shard re-runs after a failed attempt", obs.L("reason", "error"))
+	mShardsOK = obs.Default.Counter("hydra_orchestrate_shards_total",
+		"shard jobs by final outcome", obs.L("result", "ok"))
+	mShardsFailed = obs.Default.Counter("hydra_orchestrate_shards_total",
+		"shard jobs by final outcome", obs.L("result", "failed"))
+	mShardSeconds = obs.Default.Histogram("hydra_orchestrate_shard_seconds",
+		"wall time of one shard job including retries and backoff", nil)
 )
 
 // Options tunes one orchestrated job.
@@ -282,17 +299,30 @@ func runShard(ctx context.Context, runner Runner, sum *summary.Summary, job Shar
 		sr.Attempts, sr.Err = 0, err
 		return sr
 	}
+	t0 := time.Now()
+	defer func() {
+		mShardSeconds.ObserveSince(t0)
+		if sr.Err == nil {
+			mShardsOK.Inc()
+		} else {
+			mShardsFailed.Inc()
+		}
+	}()
 	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 && backoff > 0 {
-			timer := time.NewTimer(backoff)
-			select {
-			case <-ctx.Done():
-				timer.Stop()
-				return sr // keep the last attempt's error, not ctx's
-			case <-timer.C:
+		if attempt > 0 {
+			mShardRetriesErr.Inc()
+			if backoff > 0 {
+				timer := time.NewTimer(backoff)
+				select {
+				case <-ctx.Done():
+					timer.Stop()
+					return sr // keep the last attempt's error, not ctx's
+				case <-timer.C:
+				}
 			}
 		}
 		sr.Attempts = attempt + 1
+		mShardAttempts.Inc()
 		rep, err := runner.Run(ctx, sum, job)
 		if err == nil {
 			sr.Report, sr.Err = rep, nil

@@ -21,6 +21,20 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"github.com/dsl-repro/hydra/internal/obs"
+)
+
+// Limiter observability: how often pacing actually engaged, how many
+// rows were held back, and the cumulative throttle time — the numbers
+// that separate "the fleet is slow" from "the fleet is rate-limited".
+var (
+	mWaits = obs.Default.Counter("hydra_rate_waits_total",
+		"WaitN calls that actually slept (zero-wait releases are not counted)")
+	mWaitRows = obs.Default.Counter("hydra_rate_wait_rows_total",
+		"rows whose release was delayed by the limiter")
+	mThrottleSeconds = obs.Default.FloatCounter("hydra_rate_throttle_seconds_total",
+		"cumulative time WaitN spent sleeping on the emission schedule")
 )
 
 // DefaultBurst is the schedule tolerance granted when NewLimiter is
@@ -114,12 +128,16 @@ func (l *Limiter) WaitN(ctx context.Context, n int64) error {
 	if wait <= 0 {
 		return nil
 	}
+	mWaits.Inc()
+	mWaitRows.Add(n)
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
 	case <-ctx.Done():
+		mThrottleSeconds.AddDuration(time.Since(now))
 		return ctx.Err()
 	case <-timer.C:
+		mThrottleSeconds.AddDuration(wait)
 		return nil
 	}
 }

@@ -37,6 +37,7 @@ type DirSource struct {
 	format string
 	comp   matgen.Compressor
 	tables map[string]*dirTable
+	m      *backendMetrics
 }
 
 var _ Source = (*DirSource)(nil)
@@ -80,7 +81,8 @@ func OpenDir(dir string) (*DirSource, error) {
 	if len(manifests) == 0 {
 		return nil, fmt.Errorf("scan: %s holds no shard manifests; materialize first", dir)
 	}
-	s := &DirSource{dir: dir, format: manifests[0].Format, tables: map[string]*dirTable{}}
+	s := &DirSource{dir: dir, format: manifests[0].Format, tables: map[string]*dirTable{},
+		m: metricsForBackend("dir")}
 	switch s.format {
 	case "csv", "jsonl", "heap":
 	default:
@@ -165,7 +167,7 @@ func (s *DirSource) Scan(ctx context.Context, spec Spec) (*Scan, error) {
 	}
 	f := &dirFiller{src: s, t: t, proj: r.proj, ncolsOut: len(r.cols), pi: -1,
 		row: make([]int64, len(t.info.Cols))}
-	return newScan(ctx, r, f), nil
+	return newScan(ctx, r, f, s.m), nil
 }
 
 // Close implements Source; open part files belong to scans, not the

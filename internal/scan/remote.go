@@ -14,7 +14,21 @@ import (
 	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
+)
+
+// Fleet-client observability: how often streams died and resumed, how
+// often the scan had to fail over to another member, and how often the
+// fleet pushed back with 503 — the retry counters a capacity planner
+// reads next to the server-side stream metrics.
+var (
+	mRemoteResumes = obs.Default.Counter("hydra_scan_remote_resumes_total",
+		"table streams that died mid-scan and were resumed at their row offset")
+	mRemoteFailovers = obs.Default.Counter("hydra_scan_remote_failovers_total",
+		"failed stream opens that moved the scan to the next fleet member")
+	mRemoteBusy = obs.Default.Counter("hydra_scan_remote_busy_total",
+		"503 capacity rejections observed while opening streams")
 )
 
 // RemoteOptions tunes a RemoteSource.
@@ -43,6 +57,7 @@ type RemoteSource struct {
 	servers []string
 	opts    RemoteOptions
 	next    atomic.Uint64
+	m       *backendMetrics
 }
 
 var _ Source = (*RemoteSource)(nil)
@@ -70,7 +85,7 @@ func NewRemoteSource(servers []string, opts RemoteOptions) (*RemoteSource, error
 	if opts.Attempts <= 0 {
 		opts.Attempts = 2 * len(servers)
 	}
-	return &RemoteSource{servers: clean, opts: opts}, nil
+	return &RemoteSource{servers: clean, opts: opts, m: metricsForBackend("remote")}, nil
 }
 
 // Servers returns the fleet's base URLs.
@@ -181,7 +196,7 @@ func (s *RemoteSource) Scan(ctx context.Context, spec Spec) (*Scan, error) {
 		digest: digest,
 		row:    make([]int64, len(r.cols)),
 	}
-	return newScan(ctx, r, f), nil
+	return newScan(ctx, r, f, s.m), nil
 }
 
 // Close implements Source; idle HTTP connections belong to the client's
@@ -218,6 +233,7 @@ func (f *remoteFiller) fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64
 			if err := f.rr.next(f.row); err != nil {
 				// The stream died (connection, truncation, torn row) —
 				// resume at this exact row on the next fleet member.
+				mRemoteResumes.Inc()
 				f.closeBody()
 				if cerr := ctx.Err(); cerr != nil {
 					return cerr
@@ -254,10 +270,12 @@ func (f *remoteFiller) openAt(ctx context.Context, abs int64) error {
 		}
 		lastErr = fmt.Errorf("%s: %w", srv, err)
 		f.fails++
+		mRemoteFailovers.Inc()
 		// A 503 is capacity signaling; give the fleet a beat before the
 		// next attempt instead of burning the budget in a tight loop.
 		var busy *busyError
 		if errors.As(err, &busy) {
+			mRemoteBusy.Inc()
 			t := time.NewTimer(busy.retryAfter)
 			select {
 			case <-ctx.Done():

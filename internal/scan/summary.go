@@ -14,13 +14,14 @@ import (
 // other sources must agree with.
 type SummarySource struct {
 	sum *summary.Summary
+	m   *backendMetrics
 }
 
 var _ Source = (*SummarySource)(nil)
 
 // NewSummarySource wraps a summary as a scannable source.
 func NewSummarySource(sum *summary.Summary) *SummarySource {
-	return &SummarySource{sum: sum}
+	return &SummarySource{sum: sum, m: metricsForBackend("summary")}
 }
 
 // Tables implements Source.
@@ -51,7 +52,7 @@ func (s *SummarySource) Scan(ctx context.Context, spec Spec) (*Scan, error) {
 	rs := s.sum.Relations[spec.Table]
 	g := tuplegen.New(rs)
 	g.SetFKSpread(spec.FKSpread)
-	return newScan(ctx, r, &summaryFiller{g: g, proj: r.proj}), nil
+	return newScan(ctx, r, &summaryFiller{g: g, proj: r.proj}, s.m), nil
 }
 
 // Close implements Source; a summary source holds no resources.

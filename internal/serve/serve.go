@@ -46,17 +46,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/rate"
 	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/version"
 )
 
 // Options tunes a Server.
@@ -78,6 +81,16 @@ type Options struct {
 	// Log receives per-request failures that can no longer reach the
 	// client (mid-stream errors). Nil disables logging.
 	Log *log.Logger
+	// Logger receives one structured record per completed table stream
+	// (table, rows, bytes, duration, outcome) — the log a fleet operator
+	// greps when a scraped histogram says something was slow. Nil
+	// disables structured logging.
+	Logger *slog.Logger
+	// Metrics is the registry the server records into and serves at
+	// GET /metrics; nil means obs.Default (which is what the engine
+	// packages — matgen, scan, rate — record into, so the default wires
+	// the whole process onto one scrape endpoint).
+	Metrics *obs.Registry
 }
 
 // Server regenerates one summary's relations over HTTP. It is an
@@ -88,7 +101,85 @@ type Server struct {
 	digest string
 	mux    *http.ServeMux
 	slots  chan struct{}
+	reg    *obs.Registry
+	m      serverMetrics
+	start  time.Time
 }
+
+// serverMetrics are the server's own instruments, resolved once at
+// construction so the request path never takes the registry lock.
+type serverMetrics struct {
+	// inFlight counts streams and shard jobs currently holding a slot —
+	// the gauge a fleet scheduler compares against -max-streams.
+	inFlight *obs.Gauge
+	// streamSec is the whole-stream wall time; ttfcSec the time from
+	// request start to the first body byte (queueing + planning + first
+	// chunk's generation), the latency a scanning client actually feels.
+	streamSec *obs.Histogram
+	ttfcSec   *obs.Histogram
+	// busy counts 503 capacity rejections; mismatch counts shard jobs
+	// refused because they named a different summary digest.
+	busy     *obs.Counter
+	mismatch *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		inFlight: reg.Gauge("hydra_serve_in_flight_streams",
+			"table streams and shard jobs currently holding a concurrency slot"),
+		streamSec: reg.Histogram("hydra_serve_stream_seconds",
+			"wall time of one table stream, first byte to last", nil),
+		ttfcSec: reg.Histogram("hydra_serve_ttfc_seconds",
+			"time from request start to the stream's first body byte", nil),
+		busy: reg.Counter("hydra_serve_busy_total",
+			"requests rejected with 503 because every slot was in use"),
+		mismatch: reg.Counter("hydra_serve_digest_mismatch_total",
+			"shard jobs refused because they pinned a different summary digest"),
+	}
+}
+
+// route wraps a handler with per-route request/byte accounting. The
+// counters are resolved here, once per registered route, not per
+// request.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.reg.Counter("hydra_serve_requests_total",
+		"HTTP requests received, by route", obs.L("route", name))
+	bytes := s.reg.Counter("hydra_serve_bytes_total",
+		"HTTP response body bytes written, by route", obs.L("route", name))
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		bytes.Add(sw.bytes)
+	}
+}
+
+// statusWriter records the response status and body size without
+// getting between the handler and the connection: Unwrap keeps
+// http.NewResponseController's Flush working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // NewServer builds the data plane for one loaded summary.
 func NewServer(sum *summary.Summary, opts Options) (*Server, error) {
@@ -107,19 +198,52 @@ func NewServer(sum *summary.Summary, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{sum: sum, opts: opts, digest: digest}
+	s := &Server{sum: sum, opts: opts, digest: digest, start: time.Now()}
 	if opts.MaxStreams > 0 {
 		s.slots = make(chan struct{}, opts.MaxStreams)
 	}
+	s.reg = opts.Metrics
+	if s.reg == nil {
+		s.reg = obs.Default
+	}
+	s.m = newServerMetrics(s.reg)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /v1/tables/{table}", s.handleTable)
-	s.mux.HandleFunc("POST /v1/shardjobs", s.handleShardJob)
-	s.mux.HandleFunc("GET /v1/summary", s.handleSummary)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	})
+	s.mux.HandleFunc("GET /v1/tables/{table}", s.route("tables", s.handleTable))
+	s.mux.HandleFunc("POST /v1/shardjobs", s.route("shardjobs", s.handleShardJob))
+	s.mux.HandleFunc("GET /v1/summary", s.route("summary", s.handleSummary))
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.reg.Handler().ServeHTTP))
 	return s, nil
+}
+
+// HealthInfo is the GET /healthz document: liveness plus the identity
+// and load facts a fleet manager polls — which summary this member
+// serves, how long it has been up, and how full its stream slots are.
+type HealthInfo struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	SummaryDigest string  `json:"summary_digest"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int64   `json:"in_flight_streams"`
+	MaxStreams    int     `json:"max_streams"`
+	Relations     int     `json:"relations"`
+	TotalRows     int64   `json:"total_rows"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	info := HealthInfo{
+		Status:        "ok",
+		Version:       version.String,
+		SummaryDigest: s.digest,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.m.inFlight.Value(),
+		MaxStreams:    s.opts.MaxStreams,
+		Relations:     len(s.sum.Relations),
+	}
+	for _, rs := range s.sum.Relations {
+		info.TotalRows += rs.Total
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // ServeHTTP implements http.Handler.
@@ -139,14 +263,19 @@ func SummaryDigest(sum *summary.Summary) (string, error) {
 
 // acquire takes a stream slot, answering 503 when the server is at
 // MaxStreams. The caller must release() iff acquire returned true.
+// The in-flight gauge tracks successful acquisitions even on servers
+// with unlimited slots, so /metrics shows load either way.
 func (s *Server) acquire(w http.ResponseWriter) bool {
 	if s.slots == nil {
+		s.m.inFlight.Inc()
 		return true
 	}
 	select {
 	case s.slots <- struct{}{}:
+		s.m.inFlight.Inc()
 		return true
 	default:
+		s.m.busy.Inc()
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, fmt.Sprintf("serve: %d concurrent streams already running", cap(s.slots)),
 			http.StatusServiceUnavailable)
@@ -155,6 +284,7 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 }
 
 func (s *Server) release() {
+	s.m.inFlight.Dec()
 	if s.slots != nil {
 		<-s.slots
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/summary"
 )
 
@@ -237,8 +238,32 @@ func TestSummaryAndHealth(t *testing.T) {
 	sum := testSummary()
 	ts := newTestServer(t, sum, Options{MaxStreams: 7, RateLimit: 123})
 	resp, body := get(t, ts.URL+"/healthz")
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %s %q", resp.Status, body)
+	}
+	var health HealthInfo
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("healthz is not JSON: %v (%q)", err, body)
+	}
+	wantDigest, err := SummaryDigest(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch {
+	case health.Status != "ok":
+		t.Fatalf("healthz status %q", health.Status)
+	case health.Version == "":
+		t.Fatal("healthz reports no version")
+	case health.SummaryDigest != wantDigest:
+		t.Fatalf("healthz digest %q, want %q", health.SummaryDigest, wantDigest)
+	case health.UptimeSeconds < 0:
+		t.Fatalf("healthz uptime %v", health.UptimeSeconds)
+	case health.InFlight != 0:
+		t.Fatalf("healthz in-flight %d on an idle server", health.InFlight)
+	case health.MaxStreams != 7:
+		t.Fatalf("healthz max streams %d, want 7", health.MaxStreams)
+	case health.Relations != 2 || health.TotalRows != 9721:
+		t.Fatalf("healthz shape = %+v", health)
 	}
 	var info SummaryInfo
 	resp, body = get(t, ts.URL+"/v1/summary")
@@ -269,9 +294,18 @@ func TestSummaryAndHealth(t *testing.T) {
 }
 
 // TestMaxStreams: the MaxStreams-th+1 concurrent stream is refused with
-// 503 + Retry-After while a slow stream holds the only slot.
+// 503 + Retry-After while a slow stream holds the only slot — and the
+// in-flight gauge tracks the slot's whole life cycle, including the
+// decrement when the client drops the connection mid-stream (the
+// regression that would otherwise leak both the gauge and the slot).
 func TestMaxStreams(t *testing.T) {
-	ts := newTestServer(t, testSummary(), Options{MaxStreams: 1})
+	reg := obs.NewRegistry()
+	ts := newTestServer(t, testSummary(), Options{MaxStreams: 1, Metrics: reg})
+	inFlight := reg.Gauge("hydra_serve_in_flight_streams", "")
+	busy := reg.Counter("hydra_serve_busy_total", "")
+	if got := inFlight.Value(); got != 0 {
+		t.Fatalf("in-flight %d before any stream", got)
+	}
 	// rate+batch make the stream slow enough to hold its slot (~16s
 	// worth), while the first chunk arrives quickly (~0.2s).
 	slow, err := http.Get(ts.URL + "/v1/tables/S?format=csv&rate=500&batch=128")
@@ -285,12 +319,18 @@ func TestMaxStreams(t *testing.T) {
 	if _, err := io.ReadFull(slow.Body, make([]byte, 16)); err != nil {
 		t.Fatal(err) // the stream is live and holding its slot
 	}
+	if got := inFlight.Value(); got != 1 {
+		t.Fatalf("in-flight %d with one live stream, want 1", got)
+	}
 	resp, body := get(t, ts.URL+"/v1/tables/T?format=csv")
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("second stream: %s (%s), want 503", resp.Status, body)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("503 without Retry-After")
+	}
+	if busy.Value() == 0 {
+		t.Fatal("503 did not count into hydra_serve_busy_total")
 	}
 	// info=1 requests never consume a slot.
 	if resp, _ := get(t, ts.URL+"/v1/tables/T?format=csv&info=1"); resp.StatusCode != http.StatusOK {
@@ -308,6 +348,50 @@ func TestMaxStreams(t *testing.T) {
 			t.Fatal("slot never released after client disconnect")
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+	// The dropped stream's slot release must have decremented the gauge
+	// too; the successful re-scan above has also completed, so the gauge
+	// is back to zero, not drifting upward one dead connection at a time.
+	deadline = time.Now().Add(5 * time.Second)
+	for inFlight.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight gauge stuck at %d after all streams ended", inFlight.Value())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMetricsEndpoint: the server exposes its registry at GET /metrics
+// in Prometheus text format, and a completed stream shows up in the
+// serve-side families.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := newTestServer(t, testSummary(), Options{MaxStreams: 3, Metrics: reg})
+	if resp, body := get(t, ts.URL+"/v1/tables/T?format=csv"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %s (%s)", resp.Status, body)
+	}
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`hydra_serve_requests_total{route="tables"} 1`,
+		`hydra_serve_requests_total{route="metrics"} 1`,
+		"# TYPE hydra_serve_stream_seconds histogram",
+		`hydra_serve_stream_seconds_bucket{le="+Inf"} 1`,
+		"hydra_serve_in_flight_streams 0",
+		"# TYPE hydra_serve_ttfc_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", text)
 	}
 }
 

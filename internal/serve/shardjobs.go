@@ -64,6 +64,7 @@ func (s *Server) handleShardJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.SummaryDigest != "" && req.SummaryDigest != s.digest {
+		s.m.mismatch.Inc()
 		http.Error(w, fmt.Sprintf("serve: summary digest mismatch: server has %s", s.digest),
 			http.StatusConflict)
 		return

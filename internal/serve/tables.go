@@ -6,11 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/rate"
 )
 
@@ -66,6 +69,8 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	t0 := time.Now()
+	defer func() { s.m.streamSec.ObserveSince(t0) }()
 
 	h := w.Header()
 	h.Set("Content-Type", contentType(info.Format, info.Compression))
@@ -82,8 +87,10 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	// backpressure that stalls encoding — and the request context
 	// cancels generation mid-table when the client goes away.
 	sum := sha256.New()
-	fw := &flushWriter{w: w, rc: http.NewResponseController(w)}
-	if _, err := plan.Run(r.Context(), io.MultiWriter(fw, sum)); err != nil {
+	fw := &flushWriter{w: w, rc: http.NewResponseController(w), start: t0, ttfc: s.m.ttfcSec}
+	_, err = plan.Run(r.Context(), io.MultiWriter(fw, sum))
+	s.logStream(r, info, fw.wrote, time.Since(t0), err)
+	if err != nil {
 		s.logf("serve: GET %s: %v", r.URL.Path, err)
 		if fw.wrote == 0 {
 			// Nothing was committed yet: fail with a real status so
@@ -97,6 +104,33 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.Set(TrailerSha256, hex.EncodeToString(sum.Sum(nil)))
+}
+
+// logStream emits one structured record per completed (or aborted)
+// table stream — the per-request detail the aggregated histograms
+// deliberately drop.
+func (s *Server) logStream(r *http.Request, info *matgen.StreamReport, bytes int64, d time.Duration, err error) {
+	if s.opts.Logger == nil {
+		return
+	}
+	attrs := []any{
+		slog.String("table", info.Table),
+		slog.String("format", info.Format),
+		slog.Int("shard", info.Shard),
+		slog.Int("shards", info.Shards),
+		slog.Int64("start_row", info.StartRow),
+		slog.Int64("rows", info.Rows),
+		slog.Int64("bytes", bytes),
+		slog.Float64("seconds", d.Seconds()),
+		slog.Float64("rows_per_sec", obs.PerSec(info.Rows, d)),
+		slog.String("remote", r.RemoteAddr),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+		s.opts.Logger.Error("stream aborted", attrs...)
+		return
+	}
+	s.opts.Logger.Info("stream complete", attrs...)
 }
 
 // streamOptionsFromQuery maps the endpoint's query parameters onto
@@ -179,14 +213,20 @@ func contentType(format, compression string) string {
 // written and tracks whether anything has been committed (an error
 // before the first byte can still become a real status code). Flush
 // errors on connections that do not support it are ignored; real write
-// errors surface through Write itself.
+// errors surface through Write itself. When start/ttfc are set, the
+// first write observes time-to-first-chunk.
 type flushWriter struct {
 	w     io.Writer
 	rc    *http.ResponseController
 	wrote int64
+	start time.Time
+	ttfc  *obs.Histogram
 }
 
 func (f *flushWriter) Write(p []byte) (int, error) {
+	if f.wrote == 0 && f.ttfc != nil {
+		f.ttfc.ObserveSince(f.start)
+	}
 	n, err := f.w.Write(p)
 	f.wrote += int64(n)
 	if err == nil && f.rc != nil {

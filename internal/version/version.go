@@ -1,0 +1,8 @@
+// Package version pins the build identity every surface reports — the
+// /healthz document, the CLI, the facade — in one place, so a fleet
+// operator can tell at a glance which members run which build.
+package version
+
+// String is the hydra build version. Bump it with releases; the PR
+// sequence number is the minor component.
+const String = "0.6.0"

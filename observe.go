@@ -1,0 +1,58 @@
+package hydra
+
+import (
+	"context"
+	"io"
+	"net/http"
+
+	"github.com/dsl-repro/hydra/internal/loadgen"
+	"github.com/dsl-repro/hydra/internal/obs"
+	"github.com/dsl-repro/hydra/internal/version"
+)
+
+// Observability: every engine layer — tuple generation throughput
+// (matgen), scan backends, the serve data plane, the rate limiter, the
+// orchestrator — records into one process-global metrics registry
+// (internal/obs), exported here in Prometheus text format. A serving
+// fleet exposes the same registry at GET /metrics on each member; an
+// embedding application mounts MetricsHandler wherever it likes; a
+// batch run snapshots WriteMetrics after the job. Loadgen closes the
+// loop: it drives concurrent scans against any Source and reports
+// client-side p50/p99 latency to hold against the server-side
+// histograms.
+
+// Version is the library/CLI release string, also reported by
+// GET /healthz on every serve fleet member.
+const Version = version.String
+
+// MetricsHandler returns an http.Handler serving the process's metrics
+// in Prometheus text exposition format (v0.0.4) — the same payload a
+// serve fleet member answers at GET /metrics.
+func MetricsHandler() http.Handler { return obs.Default.Handler() }
+
+// WriteMetrics writes the process's metrics to w in Prometheus text
+// exposition format: the after-run snapshot for batch jobs that have no
+// HTTP surface to scrape.
+func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+type (
+	// LoadgenOptions tunes one load run: the Source under test, table
+	// subset, worker count, duration, per-request row count, request
+	// budget, seed.
+	LoadgenOptions = loadgen.Options
+	// LoadgenReport is a load run's outcome: request/error/row totals,
+	// aggregate rows/s, and exact p50/p95/p99/p999 request latency.
+	LoadgenReport = loadgen.Report
+	// LoadgenLatency is the report's latency block, in seconds.
+	LoadgenLatency = loadgen.Latency
+)
+
+// Loadgen drives opts.Concurrency workers issuing random ranged scans
+// against opts.Source until the duration or request budget runs out,
+// and reports throughput and latency percentiles. Every Source works:
+// a summary (in-process regeneration), a materialized directory, or a
+// remote fleet — which is how `hydra loadgen` puts client-observed
+// p99s next to the fleet's own /metrics histograms.
+func Loadgen(ctx context.Context, opts LoadgenOptions) (*LoadgenReport, error) {
+	return loadgen.Run(ctx, opts)
+}
