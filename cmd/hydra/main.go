@@ -106,8 +106,9 @@ usage:
   hydra serve       -summary summary.json [-addr 127.0.0.1:8372] [-max-streams N]
                     [-rate-limit rows/s] [-workers K] [-debug-addr 127.0.0.1:8373] [-log-streams]
   hydra scan        -table T (-summary summary.json | -dir out/ | -remote http://a,http://b)
-                    [-columns a,b] [-range A:B] [-shard i/N] [-format csv|jsonl|sql|heap]
-                    [-batch N] [-rate rows/s] [-fkspread] [-timeout d] [-o file]
+                    [-columns a,b] [-range A:B] [-where 'A >= 20 AND B IN (1,5)'] [-shard i/N]
+                    [-format csv|jsonl|sql|heap] [-batch N] [-rate rows/s] [-fkspread]
+                    [-timeout d] [-o file]
   hydra loadgen     (-summary summary.json | -dir out/ | -remote http://a,http://b)
                     [-c 8] [-d 10s] [-rows-per-request 10000] [-tables a,b] [-batch N]
                     [-max-requests N] [-seed S] [-json]
@@ -510,6 +511,7 @@ func cmdScan(args []string) error {
 	table := fs.String("table", "", "relation to scan (required)")
 	columns := fs.String("columns", "", "comma-separated column projection (default all, tuple order)")
 	rng := fs.String("range", "", "pk range A:B, 1-based inclusive; either side may be omitted")
+	where := fs.String("where", "", "row filter: AND of column comparisons, e.g. 'A >= 20 AND B IN (1,5)'")
 	shardSpec := fs.String("shard", "", "scan only piece i/N of the range, 1-based (e.g. 2/4)")
 	format := fs.String("format", "csv", "output encoding: csv|jsonl|sql|heap")
 	batch := fs.Int("batch", 0, "rows per batch (0 = default)")
@@ -531,6 +533,13 @@ func cmdScan(args []string) error {
 		for _, name := range strings.Split(*columns, ",") {
 			spec.Columns = append(spec.Columns, strings.TrimSpace(name))
 		}
+	}
+	if *where != "" {
+		f, err := hydra.ParseWhere(*where)
+		if err != nil {
+			return fmt.Errorf("scan: -where: %v", err)
+		}
+		spec.Filter = f
 	}
 	if *rng != "" {
 		lo, hi, ok := strings.Cut(*rng, ":")

@@ -5,6 +5,7 @@ import (
 
 	hydra "github.com/dsl-repro/hydra"
 	"github.com/dsl-repro/hydra/internal/engine"
+	"github.com/dsl-repro/hydra/internal/tuplegen"
 	"github.com/dsl-repro/hydra/internal/workload/tpcds"
 )
 
@@ -134,11 +135,8 @@ func TestFKSpreadPreservesJoins(t *testing.T) {
 	}
 	plain := engine.FromSummary(res.Summary)
 	spread := engine.NewDatabase()
-	for name := range res.Summary.Relations {
-		gen, err := hydra.NewGenerator(res.Summary, name)
-		if err != nil {
-			t.Fatal(err)
-		}
+	for _, rs := range res.Summary.Relations {
+		gen := tuplegen.New(rs)
 		gen.SetFKSpread(true)
 		spread.Add(engine.NewGenRelation(gen))
 	}

@@ -177,11 +177,15 @@ func (r *Result) Evaluate(w *Workload) ([]CCReport, error) {
 }
 
 // NewGenerator returns the dynamic tuple generator for one relation of the
-// summary — the raw row-at-a-time engine primitive. New consumers should
-// prefer the Source/Scan read path (NewSummarySource(s).Scan(...)), which
-// wraps the same generator in columnar batches with projection, pk
-// ranges, shard splits, rate limiting, and cancellation, and works
-// identically over materialized directories and serve fleets.
+// summary — the raw row-at-a-time engine primitive.
+//
+// Deprecated: use the Source/Scan read path instead —
+// NewSummarySource(s).Scan(ctx, ScanSpec{Table: table}) — which wraps
+// the same generator in columnar batches and adds projection, pk
+// ranges, filter predicates (ScanSpec.Filter), shard splits, rate
+// limiting, and cancellation, and works identically over materialized
+// directories and serve fleets. NewGenerator remains for engine-level
+// integrations that need raw row access.
 func NewGenerator(s *Summary, table string) (*Generator, error) {
 	rs, ok := s.Relations[table]
 	if !ok {

@@ -1,6 +1,7 @@
 package hydra_test
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -108,37 +109,49 @@ func TestFigure1SummaryIsMinuscule(t *testing.T) {
 	}
 }
 
+// sourceRows drains one scan through the Source read path into
+// row-major tuples — the batch-API replacement for the old
+// generator-iterator materialization.
+func sourceRows(t *testing.T, src hydra.Source, spec hydra.ScanSpec) [][]int64 {
+	t.Helper()
+	sc, err := src.Scan(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	var out [][]int64
+	for sc.Next() {
+		b := sc.Batch()
+		for i := 0; i < b.N; i++ {
+			row := make([]int64, len(b.Cols))
+			for c := range b.Cols {
+				row[c] = b.Cols[c][i]
+			}
+			out = append(out, row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 // TestFigure1JoinByGeneration is the strongest volumetric check: it
-// materializes all of R via the tuple generator, follows the generated FK
+// materializes all of R via the read path, follows the generated FK
 // values into S and T, and re-counts the AQP's operator outputs by brute
 // force.
 func TestFigure1JoinByGeneration(t *testing.T) {
 	res := regenerateFigure1(t, hydra.Config{})
-	genR, err := hydra.NewGenerator(res.Summary, "R")
-	if err != nil {
-		t.Fatal(err)
-	}
-	genS, _ := hydra.NewGenerator(res.Summary, "S")
-	genT, _ := hydra.NewGenerator(res.Summary, "T")
+	src := hydra.NewSummarySource(res.Summary)
 
 	// Materialize S and T keyed by pk.
 	sRows := map[int64][]int64{}
-	for it := genS.Scan(); ; {
-		row, ok := it.Next()
-		if !ok {
-			break
-		}
-		cp := append([]int64(nil), row...)
-		sRows[row[0]] = cp
+	for _, row := range sourceRows(t, src, hydra.ScanSpec{Table: "S"}) {
+		sRows[row[0]] = row
 	}
 	tRows := map[int64][]int64{}
-	for it := genT.Scan(); ; {
-		row, ok := it.Next()
-		if !ok {
-			break
-		}
-		cp := append([]int64(nil), row...)
-		tRows[row[0]] = cp
+	for _, row := range sourceRows(t, src, hydra.ScanSpec{Table: "T"}) {
+		tRows[row[0]] = row
 	}
 
 	// σ(S): A in [20,60) — column layout [pk, A, B].
@@ -150,6 +163,13 @@ func TestFigure1JoinByGeneration(t *testing.T) {
 	}
 	if selS != 400 {
 		t.Errorf("|σ(S)| = %d, want 400", selS)
+	}
+	// The same selection pushed down as a scan filter must count the same.
+	filtered := sourceRows(t, src, hydra.ScanSpec{
+		Table: "S", Filter: hydra.Col("A").In(20, 59),
+	})
+	if int64(len(filtered)) != selS {
+		t.Errorf("filtered |σ(S)| = %d, want %d", len(filtered), selS)
 	}
 	// σ(T): C in [2,3) — layout [pk, C].
 	var selT int64
@@ -164,11 +184,7 @@ func TestFigure1JoinByGeneration(t *testing.T) {
 
 	// R ⋈ σ(S) and R ⋈ σ(S) ⋈ σ(T) — R layout [pk, S_fk, T_fk].
 	var joinRS, joinRST int64
-	for it := genR.Scan(); ; {
-		row, ok := it.Next()
-		if !ok {
-			break
-		}
+	for _, row := range sourceRows(t, src, hydra.ScanSpec{Table: "R"}) {
 		s, okS := sRows[row[1]]
 		tt, okT := tRows[row[2]]
 		if !okS || !okT {
@@ -219,12 +235,12 @@ func TestSummarySaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 	// The loaded summary must still drive generation.
-	gen, err := hydra.NewGenerator(loaded, "S")
+	info, err := hydra.NewSummarySource(loaded).Table("S")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gen.NumRows() != 700 {
-		t.Fatalf("loaded generator rows = %d", gen.NumRows())
+	if info.Rows != 700 {
+		t.Fatalf("loaded source rows = %d", info.Rows)
 	}
 }
 

@@ -368,11 +368,11 @@ func Fig15(e *Env) (*Table, error) {
 		Header: []string{"relation", "rows (millions)", "size (MB)", "disk scan", "dynamic"},
 	}
 	for _, name := range fig15Relations {
-		gen, err := hydra.NewGenerator(res.Summary, name)
-		if err != nil {
-			return nil, err
+		rs, ok := res.Summary.Relations[name]
+		if !ok {
+			return nil, fmt.Errorf("summary has no relation %q", name)
 		}
-		genRel := engine.NewGenRelation(gen)
+		genRel := engine.NewGenRelation(tuplegen.New(rs))
 		disk, err := engine.MaterializeToDisk(genRel, filepath.Join(dir, name+".heap"))
 		if err != nil {
 			return nil, err

@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/rate"
 	"github.com/dsl-repro/hydra/internal/summary"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
@@ -17,6 +18,13 @@ import (
 // byte stream. A serving layer maps errors.Is(err, ErrStream) to a
 // client error; anything else is a generation failure.
 var ErrStream = errors.New("matgen: invalid stream request")
+
+// ErrFilter marks a stream request whose Filter was unusable — a column
+// the relation does not have, or a format that cannot carry filtered
+// (gap-bearing) row streams. It wraps ErrStream, so existing client
+// error mapping keeps working; a serving layer can additionally count
+// filter rejections by matching this sentinel.
+var ErrFilter = fmt.Errorf("%w: invalid filter", ErrStream)
 
 // StreamOptions selects one relation range scan for Stream. The encoded
 // bytes are, by construction, exactly the bytes Materialize would put in
@@ -61,6 +69,18 @@ type StreamOptions struct {
 	// byte-identical to a materialization with the same Columns, not a
 	// substring of the full-width file.
 	Columns []string
+	// Filter restricts the stream to rows satisfying a conjunction of
+	// per-column predicates, evaluated inside the encode path at span
+	// granularity — rows that fail are never generated, let alone
+	// encoded. The filter binds against the relation's full column set,
+	// independent of Columns, so a stream may filter on columns it does
+	// not carry. Offset and Limit still address the unfiltered row space
+	// (the resume cursor stays meaningful); only matching rows are
+	// emitted, so a filtered stream has no predeclared row count and
+	// simply ends when its range is exhausted. Filtered streams require
+	// a row-aligned format (csv, jsonl): page- and statement-structured
+	// sinks cannot carry row gaps.
+	Filter pred.Filter
 }
 
 // StreamReport describes one stream: its geometry (known before any
@@ -103,6 +123,7 @@ type streamPlan struct {
 	start, end int64 // absolute row range to encode
 	header     bool
 	footer     bool
+	filt       *tuplegen.SpanFilter // nil = unfiltered
 }
 
 func planStream(sum *summary.Summary, opts StreamOptions) (*streamPlan, error) {
@@ -172,6 +193,23 @@ func planStream(sum *summary.Summary, opts StreamOptions) (*streamPlan, error) {
 	}
 	p.header = opts.Shard == 0 && opts.Offset == 0
 	p.footer = opts.Shard == opts.Shards-1 && p.end == t.rng.Hi
+	if !opts.Filter.Empty() {
+		if align != 1 {
+			return nil, fmt.Errorf("%w: format %q (alignment %d) cannot carry filtered row streams", ErrFilter, sink.Name(), align)
+		}
+		conj, err := opts.Filter.Bind(t.g.ColNames())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFilter, err)
+		}
+		if p.filt, err = t.g.BindSpanFilter(conj); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFilter, err)
+		}
+		if p.filt == nil {
+			// Constrained in name only (full-domain restrictions): stream
+			// unfiltered, which yields the identical row set.
+			p.filt = &tuplegen.SpanFilter{}
+		}
+	}
 	return p, nil
 }
 
@@ -289,7 +327,11 @@ func (sp *StreamPlan) Run(ctx context.Context, w io.Writer) (*StreamReport, erro
 				return rep, err
 			}
 			t0 := time.Now()
-			*buf = encodeChunk(t, enc, se, b, (*buf)[:0], lo, hi)
+			if p.filt != nil {
+				*buf = encodeFilteredChunk(t, enc, se, b, (*buf)[:0], lo, hi, p.filt)
+			} else {
+				*buf = encodeChunk(t, enc, se, b, (*buf)[:0], lo, hi)
+			}
 			mEncodeSeconds.AddDuration(time.Since(t0))
 			t.m.rows.Add(hi - lo)
 			t.m.chunks.Inc()

@@ -1,0 +1,445 @@
+package pred
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Filter is a conjunction of per-column restrictions keyed by column
+// name: a row matches when every named column's value lies in that
+// column's Set. It is the name-addressed twin of Conjunct — specs carry
+// a Filter because callers know column names, and the read path binds
+// it to positional attributes with Bind once a table layout is known.
+// The zero value matches every row. Filters are immutable; With and And
+// return new values.
+type Filter struct {
+	cols map[string]Set
+}
+
+// Empty reports whether the filter constrains nothing (matches all rows).
+func (f Filter) Empty() bool { return len(f.cols) == 0 }
+
+// Unsatisfiable reports whether some column's restriction is the empty
+// set, so no row can ever match.
+func (f Filter) Unsatisfiable() bool {
+	for _, s := range f.cols {
+		if s.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Cols returns the constrained column names, sorted.
+func (f Filter) Cols() []string {
+	names := make([]string, 0, len(f.cols))
+	for name := range f.cols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Restriction returns the named column's value set and whether the
+// column is constrained at all.
+func (f Filter) Restriction(name string) (Set, bool) {
+	s, ok := f.cols[name]
+	return s, ok
+}
+
+// With returns the filter strengthened by the constraint column ∈ s,
+// intersected with any existing restriction on the same column.
+func (f Filter) With(name string, s Set) Filter {
+	out := make(map[string]Set, len(f.cols)+1)
+	for k, v := range f.cols {
+		out[k] = v
+	}
+	if cur, ok := out[name]; ok {
+		out[name] = cur.Intersect(s)
+	} else {
+		out[name] = s
+	}
+	return Filter{cols: out}
+}
+
+// And returns the conjunction of f with every g: each column's
+// restriction is the intersection of all restrictions named for it.
+func (f Filter) And(gs ...Filter) Filter {
+	out := f
+	for _, g := range gs {
+		for name, s := range g.cols {
+			out = out.With(name, s)
+		}
+	}
+	return out
+}
+
+// Bind resolves the filter's column names against a table layout,
+// producing a positional Conjunct whose attribute indices point into
+// layout. A constrained name missing from the layout is an error.
+func (f Filter) Bind(layout []string) (Conjunct, error) {
+	c := NewConjunct()
+	for _, name := range f.Cols() {
+		idx := -1
+		for i, l := range layout {
+			if l == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return Conjunct{}, fmt.Errorf("filter: unknown column %q (have %s)", name, strings.Join(layout, ", "))
+		}
+		c = c.With(idx, f.cols[name])
+	}
+	return c, nil
+}
+
+// Encode renders the filter in its canonical wire form, the one the
+// serve data plane accepts as the filter= query parameter: columns
+// sorted by name and joined with ';', each as name=interval|interval…,
+// an interval as lo:hi with an omitted side meaning the domain bound
+// and a single point abbreviated to its value. Example:
+// "A=20:59;B=5;C=:10|100:". DecodeFilter inverts it exactly.
+func (f Filter) Encode() string {
+	var b strings.Builder
+	for i, name := range f.Cols() {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(name)
+		b.WriteByte('=')
+		for j, iv := range f.cols[name].Intervals() {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			encodeInterval(&b, iv)
+		}
+	}
+	return b.String()
+}
+
+// String returns the canonical encoding; a Filter prints as its wire form.
+func (f Filter) String() string { return f.Encode() }
+
+func encodeInterval(b *strings.Builder, iv Interval) {
+	if iv.Lo == iv.Hi {
+		b.WriteString(strconv.FormatInt(iv.Lo, 10))
+		return
+	}
+	if iv.Lo != DomainMin {
+		b.WriteString(strconv.FormatInt(iv.Lo, 10))
+	}
+	b.WriteByte(':')
+	if iv.Hi != DomainMax {
+		b.WriteString(strconv.FormatInt(iv.Hi, 10))
+	}
+}
+
+// DecodeFilter parses the canonical wire encoding produced by Encode.
+// The empty string decodes to the match-all filter. A column part with
+// no intervals ("A=") decodes to an empty restriction — an explicitly
+// unsatisfiable filter — so every Filter round-trips.
+func DecodeFilter(enc string) (Filter, error) {
+	var f Filter
+	if enc == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(enc, ";") {
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return Filter{}, fmt.Errorf("filter: malformed column constraint %q", part)
+		}
+		if strings.ContainsAny(name, ":|; \t") {
+			return Filter{}, fmt.Errorf("filter: malformed column name %q", name)
+		}
+		if rest == "" {
+			f = f.With(name, Set{})
+			continue
+		}
+		var ivs []Interval
+		for _, ivEnc := range strings.Split(rest, "|") {
+			iv, err := decodeInterval(ivEnc)
+			if err != nil {
+				return Filter{}, fmt.Errorf("filter: column %s: %v", name, err)
+			}
+			ivs = append(ivs, iv)
+		}
+		f = f.With(name, NewSet(ivs...))
+	}
+	return f, nil
+}
+
+func decodeInterval(enc string) (Interval, error) {
+	loS, hiS, ranged := strings.Cut(enc, ":")
+	if !ranged {
+		v, err := strconv.ParseInt(enc, 10, 64)
+		if err != nil {
+			return Interval{}, fmt.Errorf("bad interval %q", enc)
+		}
+		return Interval{v, v}, nil
+	}
+	iv := Full()
+	var err error
+	if loS != "" {
+		if iv.Lo, err = strconv.ParseInt(loS, 10, 64); err != nil {
+			return Interval{}, fmt.Errorf("bad interval %q", enc)
+		}
+	}
+	if hiS != "" {
+		if iv.Hi, err = strconv.ParseInt(hiS, 10, 64); err != nil {
+			return Interval{}, fmt.Errorf("bad interval %q", enc)
+		}
+	}
+	if iv.Empty() {
+		return Interval{}, fmt.Errorf("empty interval %q", enc)
+	}
+	return iv, nil
+}
+
+// Next returns the smallest set element >= v, if any. It is the row
+// skip primitive: a scan positioned at primary key v jumps directly to
+// the next key that can match a pk restriction.
+func (s Set) Next(v int64) (int64, bool) {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= v })
+	if i == len(s.ivs) {
+		return 0, false
+	}
+	if s.ivs[i].Lo > v {
+		return s.ivs[i].Lo, true
+	}
+	return v, true
+}
+
+// ColRef names a column while a filter constraint on it is being built:
+// Col("A").In(20, 59) reads as A ∈ [20,59].
+type ColRef struct{ name string }
+
+// Col starts a filter constraint on the named column.
+func Col(name string) ColRef { return ColRef{name: name} }
+
+// In constrains the column to the closed interval [lo, hi].
+func (c ColRef) In(lo, hi int64) Filter { return Filter{}.With(c.name, Range(lo, hi)) }
+
+// Eq constrains the column to exactly v.
+func (c ColRef) Eq(v int64) Filter { return Filter{}.With(c.name, Point(v)) }
+
+// OneOf constrains the column to the given values.
+func (c ColRef) OneOf(vs ...int64) Filter {
+	ivs := make([]Interval, len(vs))
+	for i, v := range vs {
+		ivs[i] = Interval{v, v}
+	}
+	return Filter{}.With(c.name, NewSet(ivs...))
+}
+
+// AtLeast constrains the column to values >= v.
+func (c ColRef) AtLeast(v int64) Filter { return Filter{}.With(c.name, AtLeast(v)) }
+
+// AtMost constrains the column to values <= v.
+func (c ColRef) AtMost(v int64) Filter { return Filter{}.With(c.name, AtMost(v)) }
+
+// ParseWhere parses a minimal SQL-style conjunction into a Filter:
+//
+//	A = 5 AND B BETWEEN 10 AND 20 AND C IN (1, 2, 3) AND D >= 7 AND E <> 0
+//
+// Supported per-column predicates are the comparison operators
+// (=, !=, <>, <, <=, >, >=), BETWEEN lo AND hi, and IN (v, v, …), over
+// integer literals, joined by AND. Keywords are case-insensitive.
+func ParseWhere(s string) (Filter, error) {
+	toks, err := lexWhere(s)
+	if err != nil {
+		return Filter{}, err
+	}
+	if len(toks) == 0 {
+		return Filter{}, fmt.Errorf("where: empty condition")
+	}
+	p := whereParser{toks: toks}
+	var f Filter
+	for {
+		name, set, err := p.predicate()
+		if err != nil {
+			return Filter{}, err
+		}
+		f = f.With(name, set)
+		if p.done() {
+			return f, nil
+		}
+		if err := p.keyword("AND"); err != nil {
+			return Filter{}, err
+		}
+	}
+}
+
+type whereTok struct {
+	kind byte // 'i' ident, 'n' number, 'o' operator, '(' , ')' , ','
+	text string
+	val  int64
+}
+
+func lexWhere(s string) ([]whereTok, error) {
+	var toks []whereTok
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',':
+			toks = append(toks, whereTok{kind: c})
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			op := s[i : i+1]
+			if i+1 < len(s) && (s[i+1] == '=' || (c == '<' && s[i+1] == '>')) {
+				op = s[i : i+2]
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("where: bad operator at %q", s[i:])
+			}
+			toks = append(toks, whereTok{kind: 'o', text: op})
+			i += len(op)
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i + 1
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			v, err := strconv.ParseInt(s[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("where: bad number %q", s[i:j])
+			}
+			toks = append(toks, whereTok{kind: 'n', text: s[i:j], val: v})
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i + 1
+			for j < len(s) && (s[j] == '_' || (s[j] >= 'a' && s[j] <= 'z') || (s[j] >= 'A' && s[j] <= 'Z') || (s[j] >= '0' && s[j] <= '9')) {
+				j++
+			}
+			toks = append(toks, whereTok{kind: 'i', text: s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("where: unexpected character %q", string(c))
+		}
+	}
+	return toks, nil
+}
+
+type whereParser struct {
+	toks []whereTok
+	pos  int
+}
+
+func (p *whereParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *whereParser) next() (whereTok, error) {
+	if p.done() {
+		return whereTok{}, fmt.Errorf("where: unexpected end of condition")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *whereParser) keyword(kw string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != 'i' || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("where: expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *whereParser) number() (int64, error) {
+	t, err := p.next()
+	if err != nil {
+		return 0, err
+	}
+	if t.kind != 'n' {
+		return 0, fmt.Errorf("where: expected a number, got %q", t.text)
+	}
+	return t.val, nil
+}
+
+// predicate parses one `col <op> value | col BETWEEN a AND b |
+// col IN (…)` term and returns the column name with its value set.
+func (p *whereParser) predicate() (string, Set, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", Set{}, err
+	}
+	if t.kind != 'i' {
+		return "", Set{}, fmt.Errorf("where: expected a column name, got %q", t.text)
+	}
+	name := t.text
+	op, err := p.next()
+	if err != nil {
+		return "", Set{}, err
+	}
+	switch {
+	case op.kind == 'o':
+		v, err := p.number()
+		if err != nil {
+			return "", Set{}, err
+		}
+		switch op.text {
+		case "=":
+			return name, Point(v), nil
+		case "!=", "<>":
+			return name, Point(v).Complement(), nil
+		case "<":
+			return name, AtMost(v - 1), nil
+		case "<=":
+			return name, AtMost(v), nil
+		case ">":
+			return name, AtLeast(v + 1), nil
+		case ">=":
+			return name, AtLeast(v), nil
+		}
+		return "", Set{}, fmt.Errorf("where: unsupported operator %q", op.text)
+	case op.kind == 'i' && strings.EqualFold(op.text, "BETWEEN"):
+		lo, err := p.number()
+		if err != nil {
+			return "", Set{}, err
+		}
+		if err := p.keyword("AND"); err != nil {
+			return "", Set{}, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return "", Set{}, err
+		}
+		if lo > hi {
+			return "", Set{}, fmt.Errorf("where: empty BETWEEN %d AND %d", lo, hi)
+		}
+		return name, Range(lo, hi), nil
+	case op.kind == 'i' && strings.EqualFold(op.text, "IN"):
+		t, err := p.next()
+		if err != nil {
+			return "", Set{}, err
+		}
+		if t.kind != '(' {
+			return "", Set{}, fmt.Errorf("where: IN wants a parenthesized list, got %q", t.text)
+		}
+		var ivs []Interval
+		for {
+			v, err := p.number()
+			if err != nil {
+				return "", Set{}, err
+			}
+			ivs = append(ivs, Interval{v, v})
+			t, err := p.next()
+			if err != nil {
+				return "", Set{}, err
+			}
+			if t.kind == ')' {
+				return name, NewSet(ivs...), nil
+			}
+			if t.kind != ',' {
+				return "", Set{}, fmt.Errorf("where: IN list wants ',' or ')', got %q", t.text)
+			}
+		}
+	}
+	return "", Set{}, fmt.Errorf("where: expected an operator after %q, got %q", name, op.text)
+}

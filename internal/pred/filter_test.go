@@ -1,0 +1,161 @@
+package pred
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFilterBuilderAndBind(t *testing.T) {
+	f := Col("A").In(20, 59).And(Col("B").Eq(5), Col("t_fk").OneOf(1, 7, 9))
+	if f.Empty() || f.Unsatisfiable() {
+		t.Fatalf("filter = %v", f)
+	}
+	if got := f.Cols(); len(got) != 3 || got[0] != "A" || got[1] != "B" || got[2] != "t_fk" {
+		t.Fatalf("cols = %v", got)
+	}
+	c, err := f.Bind([]string{"S_pk", "A", "B", "t_fk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		point []int64
+		want  bool
+	}{
+		{[]int64{1, 20, 5, 7}, true},
+		{[]int64{1, 59, 5, 9}, true},
+		{[]int64{1, 60, 5, 7}, false},
+		{[]int64{1, 20, 6, 7}, false},
+		{[]int64{1, 20, 5, 8}, false},
+	} {
+		if got := c.Eval(tc.point); got != tc.want {
+			t.Errorf("Eval(%v) = %v, want %v", tc.point, got, tc.want)
+		}
+	}
+	if _, err := f.Bind([]string{"S_pk", "A"}); err == nil || !strings.Contains(err.Error(), "unknown column") {
+		t.Fatalf("bind with missing columns: err = %v", err)
+	}
+}
+
+func TestFilterAndIntersects(t *testing.T) {
+	f := Col("A").In(0, 50).And(Col("A").In(40, 90))
+	s, ok := f.Restriction("A")
+	if !ok || !s.Equal(Range(40, 50)) {
+		t.Fatalf("A restriction = %v", s)
+	}
+	if g := Col("A").Eq(1).And(Col("A").Eq(2)); !g.Unsatisfiable() {
+		t.Fatalf("contradiction not unsatisfiable: %v", g)
+	}
+}
+
+func TestFilterEncodeDecodeRoundTrip(t *testing.T) {
+	for _, f := range []Filter{
+		{},
+		Col("A").Eq(7),
+		Col("A").In(20, 59).And(Col("B").OneOf(1, 5, 9)),
+		Col("lo").AtMost(10).And(Col("hi").AtLeast(100)),
+		Col("neg").In(-50, -10),
+		Col("dead").Eq(1).And(Col("dead").Eq(2)), // empty restriction
+	} {
+		enc := f.Encode()
+		got, err := DecodeFilter(enc)
+		if err != nil {
+			t.Fatalf("decode %q: %v", enc, err)
+		}
+		if got.Encode() != enc {
+			t.Fatalf("round trip %q -> %q", enc, got.Encode())
+		}
+	}
+	// Spot-check the canonical form itself.
+	f := Col("B").OneOf(5, 1).And(Col("A").In(20, 59), Col("C").AtMost(10))
+	if enc := f.Encode(); enc != "A=20:59;B=1|5;C=:10" {
+		t.Fatalf("encode = %q", enc)
+	}
+}
+
+func TestDecodeFilterRejectsGarbage(t *testing.T) {
+	for _, enc := range []string{
+		"A",        // no '='
+		"=1:2",     // empty name
+		"A=x",      // not a number
+		"A=5:3",    // inverted interval
+		"A=1:2:3",  // too many bounds
+		"A=1;;B=2", // empty part
+		"A B=1",    // space in name
+		"A=1|",     // trailing empty interval
+	} {
+		if _, err := DecodeFilter(enc); err == nil {
+			t.Errorf("DecodeFilter(%q) accepted", enc)
+		}
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	f, err := ParseWhere("A = 5 AND B between 10 AND 20 AND C IN (1, 3, 5) AND D >= 7 AND E <> 0 AND F < 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]Set{
+		"A": Point(5),
+		"B": Range(10, 20),
+		"C": NewSet(Interval{1, 1}, Interval{3, 3}, Interval{5, 5}),
+		"D": AtLeast(7),
+		"E": Point(0).Complement(),
+		"F": AtMost(3),
+	} {
+		got, ok := f.Restriction(name)
+		if !ok || !got.Equal(want) {
+			t.Errorf("%s: restriction = %v, want %v", name, got, want)
+		}
+	}
+	// Same column twice intersects.
+	f, err = ParseWhere("A > 10 AND A <= 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := f.Restriction("A"); !s.Equal(Range(11, 20)) {
+		t.Fatalf("A = %v", s)
+	}
+}
+
+func TestParseWhereErrors(t *testing.T) {
+	for _, q := range []string{
+		"",
+		"A",
+		"A = ",
+		"A = B",
+		"A == 5",
+		"= 5",
+		"A IN ()",
+		"A IN (1 2)",
+		"A BETWEEN 5",
+		"A BETWEEN 9 AND 3",
+		"A = 5 OR B = 6",
+		"A = 5 AND",
+		"A @ 5",
+	} {
+		if _, err := ParseWhere(q); err == nil {
+			t.Errorf("ParseWhere(%q) accepted", q)
+		}
+	}
+}
+
+func TestSetNext(t *testing.T) {
+	s := NewSet(Interval{5, 9}, Interval{20, 20}, Interval{30, 40})
+	for _, tc := range []struct {
+		v    int64
+		want int64
+		ok   bool
+	}{
+		{0, 5, true}, {5, 5, true}, {7, 7, true}, {9, 9, true},
+		{10, 20, true}, {20, 20, true}, {21, 30, true}, {40, 40, true},
+		{41, 0, false},
+	} {
+		got, ok := s.Next(tc.v)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Next(%d) = %d,%v want %d,%v", tc.v, got, ok, tc.want, tc.ok)
+		}
+	}
+	if _, ok := (Set{}).Next(0); ok {
+		t.Error("empty set has a next element")
+	}
+}

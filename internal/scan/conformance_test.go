@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/scan"
 	"github.com/dsl-repro/hydra/internal/serve"
 	"github.com/dsl-repro/hydra/internal/summary"
@@ -143,6 +144,15 @@ func TestConformance(t *testing.T) {
 		{Table: "S", StartPK: 100, EndPK: 8000, Shards: 4, Shard: 3, Columns: []string{"A", "S_pk"}, BatchRows: 451},
 		{Table: "S", StartPK: 9000},                          // empty: past the end
 		{Table: "T", StartPK: 900, EndPK: 900, BatchRows: 1}, // single row
+		// Filtered specs: every backend must prune to the identical
+		// batch sequence, whatever its pushdown mechanism.
+		{Table: "S", Filter: pred.Col("A").Eq(20), BatchRows: 777},                                                               // drops a whole run group
+		{Table: "S", Filter: pred.Col("A").Eq(99)},                                                                               // empty result
+		{Table: "S", Filter: pred.Col("S_pk").In(4000, 4007), BatchRows: 513},                                                    // ~0.1% selectivity
+		{Table: "S", Filter: pred.Col("A").AtLeast(0), BatchRows: 999},                                                           // filtered, everything passes
+		{Table: "S", Filter: pred.Col("t_fk").In(100, 260), BatchRows: 640},                                                      // FK column (per-row under spread)
+		{Table: "S", StartPK: 2500, EndPK: 7001, Filter: pred.Col("B").Eq(40)},                                                   // filter + pk range
+		{Table: "S", Columns: []string{"t_fk", "B"}, BatchRows: 500, Filter: pred.Col("A").In(20, 60).And(pred.Col("B").Eq(15))}, // pk-less projection + filter on a projected-out column
 	}
 
 	for _, spread := range []bool{false, true} {
@@ -185,6 +195,9 @@ func specName(s scan.Spec) string {
 	}
 	if s.BatchRows != 0 {
 		parts = append(parts, fmt.Sprintf("batch=%d", s.BatchRows))
+	}
+	if !s.Filter.Empty() {
+		parts = append(parts, "where="+s.Filter.Encode())
 	}
 	return strings.Join(parts, ",")
 }
@@ -246,6 +259,87 @@ func TestRemoteResumeMidTable(t *testing.T) {
 	spec := scan.Spec{Table: "S", BatchRows: 500, Columns: []string{"S_pk", "A", "B"}}
 	want := drain(t, scan.NewSummarySource(sum), spec)
 	diffBatches(t, "flaky-fleet", drain(t, remote, spec), want)
+}
+
+// TestRemoteResumeFiltered proves pk-based resume under predicate
+// pushdown: the stream carries only matching rows, so when a member
+// dies the scan must resume at the last delivered pk, not a row count
+// — and the pk travels even when the projection leaves it out.
+func TestRemoteResumeFiltered(t *testing.T) {
+	sum := testSummary()
+	srv, err := serve.NewServer(sum, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := httptest.NewServer(&truncatingHandler{inner: srv, limit: 4 << 10})
+	defer flaky.Close()
+	healthy := httptest.NewServer(srv)
+	defer healthy.Close()
+
+	remote, err := scan.NewRemoteSource([]string{flaky.URL, healthy.URL}, scan.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := scan.NewSummarySource(sum)
+	for name, spec := range map[string]scan.Spec{
+		"with-pk": {Table: "S", BatchRows: 500, Columns: []string{"S_pk", "A", "B"}, Filter: pred.Col("B").Eq(15)},
+		"no-pk":   {Table: "S", BatchRows: 500, Columns: []string{"A", "B"}, Filter: pred.Col("B").Eq(15)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			diffBatches(t, name, drain(t, remote, spec), drain(t, ref, spec))
+		})
+	}
+}
+
+// filterStrippingHandler forwards to the real server but removes the
+// filter echo header — impersonating a fleet member that predates
+// predicate pushdown and would silently stream every row.
+type filterStrippingHandler struct{ inner http.Handler }
+
+type headerStripWriter struct {
+	http.ResponseWriter
+	name string
+}
+
+func (w *headerStripWriter) WriteHeader(code int) {
+	w.Header().Del(w.name)
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *headerStripWriter) Write(p []byte) (int, error) {
+	w.Header().Del(w.name) // the first body write flushes headers too
+	return w.ResponseWriter.Write(p)
+}
+
+func (h *filterStrippingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.inner.ServeHTTP(&headerStripWriter{ResponseWriter: w, name: "X-Hydra-Filter"}, r)
+}
+
+// TestRemoteFilterEchoRequired proves the downgrade guard: a filtered
+// scan against a fleet that does not acknowledge the filter fails
+// loudly instead of returning unfiltered rows.
+func TestRemoteFilterEchoRequired(t *testing.T) {
+	sum := testSummary()
+	srv, err := serve.NewServer(sum, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := httptest.NewServer(&filterStrippingHandler{inner: srv})
+	defer old.Close()
+	remote, err := scan.NewRemoteSource([]string{old.URL}, scan.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := remote.Scan(context.Background(), scan.Spec{Table: "S", Filter: pred.Col("A").Eq(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	for sc.Next() {
+	}
+	if err := sc.Err(); err == nil || !strings.Contains(err.Error(), "did not apply filter") {
+		t.Fatalf("err = %v, want filter-echo failure", err)
+	}
 }
 
 // TestRemoteFleetExhausted proves the failure bound: an all-dead fleet

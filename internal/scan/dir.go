@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
+	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/storage"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
 )
@@ -167,6 +168,22 @@ func (s *DirSource) Scan(ctx context.Context, spec Spec) (*Scan, error) {
 	}
 	f := &dirFiller{src: s, t: t, proj: r.proj, ncolsOut: len(r.cols), pi: -1,
 		row: make([]int64, len(t.info.Cols))}
+	if r.filtered {
+		f.filtered, f.filt = true, r.filt
+		// A restriction on the pk column doubles as a seek accelerator:
+		// decoded layouts store pk abs+1 at absolute row abs, so the
+		// filler can jump straight to the next admissible key — and a
+		// jump past a part's end means that part is never opened, never
+		// hashed, never decoded.
+		for i, name := range t.info.Cols {
+			if name == spec.Table+"_pk" {
+				if set, ok := r.filt.Restriction(i); ok {
+					f.pkSet, f.hasPK = set, true
+				}
+				break
+			}
+		}
+	}
 	return newScan(ctx, r, f, s.m), nil
 }
 
@@ -174,12 +191,21 @@ func (s *DirSource) Scan(ctx context.Context, spec Spec) (*Scan, error) {
 // source.
 func (s *DirSource) Close() error { return nil }
 
-// dirFiller sequentially decodes a table's part files.
+// dirFiller sequentially decodes a table's part files. Under a filter
+// it decodes every candidate row into the full file layout, evaluates
+// the bound conjunct, and keeps only the matches — except rows a pk
+// restriction excludes, which are skipped (cheap line/page skips within
+// a part, whole parts never even opened when the next admissible key
+// lies beyond them).
 type dirFiller struct {
 	src      *DirSource
 	t        *dirTable
 	proj     []int
 	ncolsOut int
+	filtered bool
+	filt     pred.Conjunct
+	pkSet    pred.Set
+	hasPK    bool
 
 	pi       int // index of the open part, -1 before the first open
 	rr       rowReader
@@ -197,6 +223,9 @@ const fillCheckRows = 4096
 func (f *dirFiller) fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64) error {
 	n := int(hi - lo)
 	cols := prepBatch(b, f.ncolsOut, n, lo)
+	if f.filtered {
+		return f.fillFiltered(ctx, b, cols, lo, hi)
+	}
 	for i := 0; i < n; i++ {
 		if i%fillCheckRows == 0 {
 			if err := ctx.Err(); err != nil {
@@ -204,10 +233,8 @@ func (f *dirFiller) fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64) e
 			}
 		}
 		abs := lo + int64(i)
-		if f.rr == nil || f.partLeft == 0 || f.pos != abs {
-			if err := f.openAt(ctx, abs); err != nil {
-				return err
-			}
+		if err := f.seek(ctx, abs); err != nil {
+			return err
 		}
 		if err := f.rr.next(f.row); err != nil {
 			p := f.t.parts[f.pi]
@@ -226,6 +253,70 @@ func (f *dirFiller) fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64) e
 		f.partLeft--
 	}
 	return nil
+}
+
+// fillFiltered decodes the cell's candidate rows and keeps the matches;
+// a pk restriction turns candidates into jumps.
+func (f *dirFiller) fillFiltered(ctx context.Context, b *tuplegen.Batch, cols [][]int64, lo, hi int64) error {
+	out := 0
+	for i, abs := 0, lo; abs < hi; i, abs = i+1, abs+1 {
+		if i%fillCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if f.hasPK {
+			pk, ok := f.pkSet.Next(abs + 1)
+			if !ok || pk > hi {
+				break // no admissible key left in this cell
+			}
+			abs = pk - 1
+		}
+		if err := f.seek(ctx, abs); err != nil {
+			return err
+		}
+		if err := f.rr.next(f.row); err != nil {
+			p := f.t.parts[f.pi]
+			return fmt.Errorf("scan: %s: row %d: %w", p.path, abs, err)
+		}
+		f.pos++
+		f.partLeft--
+		if !f.filt.Eval(f.row) {
+			continue
+		}
+		if f.proj == nil {
+			for c := range cols {
+				cols[c][out] = f.row[c]
+			}
+		} else {
+			for c, src := range f.proj {
+				cols[c][out] = f.row[src]
+			}
+		}
+		out++
+	}
+	b.N = out
+	return nil
+}
+
+// seek positions the filler at absolute row abs: a no-op when already
+// there, a cheap in-part skip when abs lies further inside the open
+// part, and a full openAt (locate part, verify checksum, rebuild the
+// decode stack) otherwise.
+func (f *dirFiller) seek(ctx context.Context, abs int64) error {
+	if f.rr != nil && f.partLeft > 0 && abs >= f.pos {
+		if end := f.t.parts[f.pi].start + f.t.parts[f.pi].rows; abs < end {
+			if abs > f.pos {
+				if err := f.rr.skip(abs - f.pos); err != nil {
+					return fmt.Errorf("scan: %s: skipping to row %d: %w", f.t.parts[f.pi].path, abs, err)
+				}
+				f.partLeft -= abs - f.pos
+				f.pos = abs
+			}
+			return nil
+		}
+	}
+	return f.openAt(ctx, abs)
 }
 
 // openAt positions the filler at absolute row abs: close the open part,

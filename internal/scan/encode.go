@@ -28,8 +28,15 @@ func EncodeScan(w io.Writer, sc *Scan, format string) (int64, error) {
 		return 0, fmt.Errorf("%w: format %q produces no byte stream", ErrSpec, format)
 	}
 	l := matgen.Layout{Table: sc.Table(), Cols: sc.Cols(), TotalRows: sc.NumRows()}
-	if _, err := sink.Align(len(l.Cols)); err != nil {
+	align, err := sink.Align(len(l.Cols))
+	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	if sc.Filtered() && align != 1 {
+		// Page- and statement-structured formats derive their geometry
+		// from contiguous row offsets; a filtered scan's row stream has
+		// gaps, so those formats cannot represent it.
+		return 0, fmt.Errorf("%w: format %q (alignment %d) cannot encode filtered scans", ErrSpec, format, align)
 	}
 	hdr, err := sink.Header(l)
 	if err != nil {
@@ -48,8 +55,14 @@ func EncodeScan(w io.Writer, sc *Scan, format string) (int64, error) {
 		b := sc.Batch()
 		// Offsets are scan-relative so statement groups and heap pages
 		// restart at the scanned range: any range encodes to a valid,
-		// self-contained file.
-		buf = enc.AppendBatch(buf[:0], b, b.Start-1-base)
+		// self-contained file. A filtered scan has no meaningful range
+		// offsets (its batches have gaps); it counts emitted rows
+		// instead, which alignment-1 encoders ignore anyway.
+		rowOff := b.Start - 1 - base
+		if sc.Filtered() {
+			rowOff = rows
+		}
+		buf = enc.AppendBatch(buf[:0], b, rowOff)
 		if len(buf) > 0 {
 			if _, err := w.Write(buf); err != nil {
 				return rows, err

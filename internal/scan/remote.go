@@ -98,6 +98,9 @@ const errorBodyLimit = 4 << 10
 // not imported so a future serve-on-scan layering stays cycle-free).
 const headerDigest = "X-Hydra-Summary-Digest"
 
+// headerFilter is serve's applied-filter echo header (serve.HeaderFilter).
+const headerFilter = "X-Hydra-Filter"
+
 // pick returns the next fleet member in round-robin order.
 func (s *RemoteSource) pick() string {
 	return s.servers[int(s.next.Add(1)-1)%len(s.servers)]
@@ -196,6 +199,39 @@ func (s *RemoteSource) Scan(ctx context.Context, spec Spec) (*Scan, error) {
 		digest: digest,
 		row:    make([]int64, len(r.cols)),
 	}
+	if r.filtered {
+		// The filter travels to the server in canonical encoding and is
+		// evaluated inside the encode stream, so only matching rows cross
+		// the network. The client then needs each row's pk to place it on
+		// the batch grid and to resume a torn stream (the offset space is
+		// pre-filter, and a matching row's pk IS its position): when the
+		// projection lacks the pk column it is appended to the request
+		// and stripped before rows reach the batch.
+		f.filtered = true
+		f.filterEnc = spec.Filter.Encode()
+		f.reqCols = spec.Columns
+		f.pkIdx = -1
+		if len(spec.Columns) == 0 {
+			f.pkIdx = 0 // natural layout: pk first
+		} else {
+			for i, name := range spec.Columns {
+				if name == info.Cols[0] {
+					f.pkIdx = i
+					break
+				}
+			}
+			if f.pkIdx < 0 {
+				f.reqCols = append(append([]string(nil), spec.Columns...), info.Cols[0])
+				f.pkIdx = len(spec.Columns)
+			}
+		}
+		nread := len(r.cols)
+		if len(f.reqCols) > nread {
+			nread = len(f.reqCols)
+		}
+		f.rowFull = make([]int64, nread)
+		f.resumeAbs = r.lo
+	}
 	return newScan(ctx, r, f, s.m), nil
 }
 
@@ -217,9 +253,26 @@ type remoteFiller struct {
 	digest string // summary digest pinned by the geometry (or first) response
 	fails  int
 	row    []int64
+
+	// Filtered mode: the server streams only matching rows, so stream
+	// position and batch position decouple. Each row carries its pk (at
+	// pkIdx of the requested layout), which places it on the batch grid
+	// and is where a torn stream resumes — the offset space is always
+	// pre-filter row numbers.
+	filtered  bool
+	filterEnc string   // canonical filter= value
+	reqCols   []string // columns requested from the server (projection + pk)
+	rowFull   []int64  // one decoded stream row, len == max(ncols, len(reqCols))
+	pkIdx     int      // pk's index in the stream layout
+	resumeAbs int64    // absolute offset to (re)open the stream at
+	havePeek  bool     // rowFull holds an undelivered row
+	exhausted bool     // server closed cleanly: no matches remain in range
 }
 
 func (f *remoteFiller) fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64) error {
+	if f.filtered {
+		return f.fillFiltered(ctx, b, lo, hi)
+	}
 	n := int(hi - lo)
 	cols := prepBatch(b, f.ncols, n, lo)
 	for i := 0; i < n; i++ {
@@ -252,6 +305,74 @@ func (f *remoteFiller) fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64
 		f.pos++
 	}
 	return nil
+}
+
+// fillFiltered assigns server-delivered matching rows to the grid cell
+// [lo,hi) by their pk, holding at most one looked-ahead row that
+// belongs to a later cell. The stream is opened once for the whole
+// range and reopened (possibly on another member) at the pk of the
+// last row received if it dies; a clean end-of-stream means the server
+// delivered every matching row in the range.
+func (f *remoteFiller) fillFiltered(ctx context.Context, b *tuplegen.Batch, lo, hi int64) error {
+	n := int(hi - lo)
+	cols := prepBatch(b, f.ncols, n, lo)
+	out := 0
+	for out < n && !f.exhausted {
+		if !f.havePeek {
+			if err := f.readRow(ctx); err != nil {
+				return err
+			}
+			if f.exhausted {
+				break
+			}
+		}
+		if pk := f.rowFull[f.pkIdx]; pk-1 >= hi {
+			break // first row of a later cell; keep it as lookahead
+		}
+		for c := 0; c < f.ncols; c++ {
+			cols[c][out] = f.rowFull[c]
+		}
+		out++
+		f.havePeek = false
+	}
+	b.N = out
+	return nil
+}
+
+// readRow decodes the next matching row into rowFull, resuming or
+// failing over on stream death. A clean io.EOF — the server's chunked
+// response ended with its terminal frame — sets exhausted instead: the
+// filtered stream has no fixed row count, so "ended cleanly" is the
+// protocol's only (and sufficient) end-of-matches signal; truncation
+// surfaces as ErrUnexpectedEOF and resumes like any other death.
+func (f *remoteFiller) readRow(ctx context.Context) error {
+	for {
+		if f.rr == nil {
+			if err := f.openAt(ctx, f.resumeAbs); err != nil {
+				return err
+			}
+		}
+		err := f.rr.next(f.rowFull)
+		if err == nil {
+			f.fails = 0
+			f.havePeek = true
+			f.resumeAbs = f.rowFull[f.pkIdx] // this row's abs is pk-1; resume after it
+			return nil
+		}
+		if err == io.EOF {
+			f.exhausted = true
+			f.closeBody()
+			return nil
+		}
+		mRemoteResumes.Inc()
+		f.closeBody()
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if f.fails++; f.fails >= f.src.opts.Attempts {
+			return fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", f.src.opts.Attempts, err)
+		}
+	}
 }
 
 // openAt starts (or resumes) the table stream at absolute row abs.
@@ -291,8 +412,14 @@ func (f *remoteFiller) openAt(ctx context.Context, abs int64) error {
 func (f *remoteFiller) openOn(ctx context.Context, srv string, abs int64) error {
 	q := url.Values{}
 	q.Set("format", "csv")
-	if len(f.spec.Columns) > 0 {
-		q.Set("columns", strings.Join(f.spec.Columns, ","))
+	cols, nread := f.spec.Columns, f.ncols
+	if f.filtered {
+		cols = f.reqCols
+		nread = len(f.rowFull)
+		q.Set("filter", f.filterEnc)
+	}
+	if len(cols) > 0 {
+		q.Set("columns", strings.Join(cols, ","))
 	}
 	if f.spec.FKSpread {
 		q.Set("fkspread", "1")
@@ -330,10 +457,20 @@ func (f *remoteFiller) openOn(ctx context.Context, srv string, abs int64) error 
 			return fmt.Errorf("scan: fleet member serves summary %.12s…, scan started on %.12s… — cannot splice", d, f.digest)
 		}
 	}
+	if f.filtered {
+		// A server that predates predicate pushdown ignores filter= and
+		// streams every row — silently wrong results, not an error. The
+		// echo header proves the filter was applied; its absence is fatal
+		// rather than retried, since the whole fleet runs one binary.
+		if got := resp.Header.Get(headerFilter); got != f.filterEnc {
+			resp.Body.Close()
+			return fmt.Errorf("%w: fleet member did not apply filter %q (echoed %q); upgrade `hydra serve`", ErrSpec, f.filterEnc, got)
+		}
+	}
 	// The stream carries the csv header line exactly when it starts at
 	// the very top of the table (server-side shard 0, offset 0 — we
 	// always request the whole table and cut our own range via offset).
-	rr, err := newCSVReader(resp.Body, f.ncols, abs == 0)
+	rr, err := newCSVReader(resp.Body, nread, abs == 0)
 	if err != nil {
 		resp.Body.Close()
 		return err

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/dsl-repro/hydra/internal/obs"
+	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/rate"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
 )
@@ -104,6 +105,18 @@ type Spec struct {
 	// a directory was materialized for DirSource scans to agree with the
 	// other backends.
 	FKSpread bool
+	// Filter restricts the scan to rows matching a conjunction of
+	// per-column constraints (the zero value matches everything). It is
+	// evaluated as early as each backend allows — whole tuplegen spans
+	// are skipped when their constant columns fail, DirSource skips rows
+	// and parts a pk restriction excludes without decoding or hashing
+	// them, and RemoteSource pushes the filter to the server, which
+	// evaluates it inside the encode stream. Filtering changes the batch
+	// contract: each batch still covers one step of the batch grid (its
+	// Start is the grid cell's first pk), but holds only the cell's
+	// matching rows, and cells with no matches are skipped entirely —
+	// identically for every backend, so conformance is preserved.
+	Filter pred.Filter
 }
 
 // TableInfo describes one scannable relation: its column names in layout
@@ -151,19 +164,20 @@ type filler interface {
 //
 // A Scan is not safe for concurrent use; run one per goroutine.
 type Scan struct {
-	ctx   context.Context
-	table string
-	cols  []string
-	lo    int64 // absolute row range [lo, hi)
-	hi    int64
-	pos   int64 // next unread absolute row
-	step  int64 // batch grid step (resolved BatchRows)
-	lim   *rate.Limiter
-	fill  filler
-	m     *backendMetrics
-	b     *tuplegen.Batch
-	err   error
-	done  bool
+	ctx      context.Context
+	table    string
+	cols     []string
+	lo       int64 // absolute row range [lo, hi)
+	hi       int64
+	pos      int64 // next unread absolute row
+	step     int64 // batch grid step (resolved BatchRows)
+	lim      *rate.Limiter
+	fill     filler
+	m        *backendMetrics
+	b        *tuplegen.Batch
+	filtered bool
+	err      error
+	done     bool
 }
 
 // Table returns the name of the relation being scanned.
@@ -172,8 +186,14 @@ func (s *Scan) Table() string { return s.table }
 // Cols returns the scan's output column names, projection applied.
 func (s *Scan) Cols() []string { return append([]string(nil), s.cols...) }
 
-// NumRows returns how many rows the scan covers in total.
+// NumRows returns how many rows the scan covers in total, before any
+// Spec.Filter is applied — the size of the scanned pk range, not the
+// number of rows a filtered scan will emit.
 func (s *Scan) NumRows() int64 { return s.hi - s.lo }
+
+// Filtered reports whether the scan carries a Spec.Filter, i.e. whether
+// batches may hold fewer rows than their grid cell covers.
+func (s *Scan) Filtered() bool { return s.filtered }
 
 // StartRow returns the absolute 0-based offset of the scan's first row
 // (its primary key minus one).
@@ -183,39 +203,52 @@ func (s *Scan) StartRow() int64 { return s.lo }
 // scan or on the first error (check Err). It honors the scan context's
 // cancellation and the spec's rate limit.
 func (s *Scan) Next() bool {
-	if s.done || s.err != nil || s.pos >= s.hi {
-		return false
+	for {
+		if s.done || s.err != nil || s.pos >= s.hi {
+			return false
+		}
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return false
+		}
+		n := s.step
+		if s.pos+n > s.hi {
+			n = s.hi - s.pos
+		}
+		// The limiter paces batch release exactly like matgen's collectors:
+		// batches go out whole, each only once its own emission time has
+		// elapsed, and a done context interrupts the wait promptly. A
+		// filtered scan is paced by the rows it covers, not the rows it
+		// emits — the work skipped by pushdown is exactly the point.
+		if err := s.lim.WaitN(s.ctx, n); err != nil {
+			s.err = err
+			return false
+		}
+		t0 := time.Now()
+		if err := s.fill.fill(s.ctx, s.b, s.pos, s.pos+n); err != nil {
+			s.err = err
+			return false
+		}
+		s.m.batchSec.ObserveSince(t0)
+		s.m.batches.Inc()
+		s.m.rows.Add(int64(s.b.N))
+		// The conformance invariant: every batch is anchored at its grid
+		// cell's first pk and, unfiltered, covers the cell exactly. A
+		// filtered batch keeps the anchor but holds only the cell's
+		// matching rows.
+		badStart := s.b.Start != s.pos+1
+		if badStart || (s.filtered && int64(s.b.N) > n) || (!s.filtered && int64(s.b.N) != n) {
+			s.err = fmt.Errorf("scan: backend filled rows [%d,%d), wanted [%d,%d)",
+				s.b.Start-1, s.b.Start-1+int64(s.b.N), s.pos, s.pos+n)
+			return false
+		}
+		s.pos += n
+		if s.b.N > 0 {
+			return true
+		}
+		// A filtered cell with no matching rows: skip it, uniformly
+		// across backends, so consumers never see empty batches.
 	}
-	if err := s.ctx.Err(); err != nil {
-		s.err = err
-		return false
-	}
-	n := s.step
-	if s.pos+n > s.hi {
-		n = s.hi - s.pos
-	}
-	// The limiter paces batch release exactly like matgen's collectors:
-	// batches go out whole, each only once its own emission time has
-	// elapsed, and a done context interrupts the wait promptly.
-	if err := s.lim.WaitN(s.ctx, n); err != nil {
-		s.err = err
-		return false
-	}
-	t0 := time.Now()
-	if err := s.fill.fill(s.ctx, s.b, s.pos, s.pos+n); err != nil {
-		s.err = err
-		return false
-	}
-	s.m.batchSec.ObserveSince(t0)
-	s.m.batches.Inc()
-	s.m.rows.Add(n)
-	if s.b.Start != s.pos+1 || int64(s.b.N) != n {
-		s.err = fmt.Errorf("scan: backend filled rows [%d,%d), wanted [%d,%d)",
-			s.b.Start-1, s.b.Start-1+int64(s.b.N), s.pos, s.pos+n)
-		return false
-	}
-	s.pos += n
-	return true
 }
 
 // Batch returns the current batch. Its buffers are reused by the next
@@ -237,13 +270,15 @@ func (s *Scan) Close() error {
 
 // resolved is a validated, normalized Spec bound to one table layout.
 type resolved struct {
-	info TableInfo // the source's natural layout
-	cols []string  // output columns, projection applied
-	proj []int     // indices into info.Cols; nil = all
-	lo   int64     // absolute row range [lo, hi)
-	hi   int64
-	step int64
-	lim  *rate.Limiter
+	info     TableInfo // the source's natural layout
+	cols     []string  // output columns, projection applied
+	proj     []int     // indices into info.Cols; nil = all
+	lo       int64     // absolute row range [lo, hi)
+	hi       int64
+	step     int64
+	lim      *rate.Limiter
+	filt     pred.Conjunct // Filter bound to info.Cols indices
+	filtered bool
 }
 
 // resolve validates spec against the table's layout and computes the
@@ -303,10 +338,28 @@ func resolve(spec Spec, info *TableInfo) (*resolved, error) {
 	n := hi0 - lo0
 	lo := lo0 + n*int64(spec.Shard)/int64(shards)
 	hi := lo0 + n*int64(spec.Shard+1)/int64(shards)
-	return &resolved{
+	r := &resolved{
 		info: *info, cols: cols, proj: proj,
 		lo: lo, hi: hi, step: int64(batch), lim: lim,
-	}, nil
+	}
+	if !spec.Filter.Empty() {
+		// The filter binds against the full natural layout, independent
+		// of the projection: constraining a column you don't select is
+		// legal. The grid is deliberately NOT tightened from a pk
+		// restriction — batch anchoring must stay identical across
+		// filtered backends — except for the one degenerate case of an
+		// unsatisfiable filter, which every backend collapses to the
+		// empty scan the same way.
+		r.filt, err = spec.Filter.Bind(info.Cols)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrSpec, info.Table, err)
+		}
+		r.filtered = true
+		if r.filt.Unsatisfiable() {
+			r.hi = r.lo
+		}
+	}
+	return r, nil
 }
 
 // newScan assembles the iterator all sources share; m is the backend's
@@ -319,6 +372,7 @@ func newScan(ctx context.Context, r *resolved, f filler, m *backendMetrics) *Sca
 		ctx: ctx, table: r.info.Table, cols: r.cols,
 		lo: r.lo, hi: r.hi, pos: r.lo, step: r.step,
 		lim: r.lim, fill: f, m: m, b: &tuplegen.Batch{},
+		filtered: r.filtered,
 	}
 }
 

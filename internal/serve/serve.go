@@ -121,6 +121,10 @@ type serverMetrics struct {
 	// refused because they named a different summary digest.
 	busy     *obs.Counter
 	mismatch *obs.Counter
+	// filterRejected counts table streams refused with 400 because the
+	// filter= parameter was malformed, named an unknown column, or asked
+	// a page/statement-structured format to carry row gaps.
+	filterRejected *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -135,6 +139,8 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 			"requests rejected with 503 because every slot was in use"),
 		mismatch: reg.Counter("hydra_serve_digest_mismatch_total",
 			"shard jobs refused because they pinned a different summary digest"),
+		filterRejected: reg.Counter("hydra_serve_filter_rejected_total",
+			"table streams refused because their filter= parameter was unusable"),
 	}
 }
 

@@ -232,6 +232,55 @@ func TestTableStreamErrors(t *testing.T) {
 	}
 }
 
+// TestTableStreamFilter: filter= restricts the stream to matching rows
+// and is echoed canonically; unusable filters answer 400 with a JSON
+// error body and bump the rejection counter.
+func TestTableStreamFilter(t *testing.T) {
+	reg := obs.NewRegistry()
+	ts := newTestServer(t, testSummary(), Options{Metrics: reg})
+
+	// A=20 matches the first two run groups: rows 1..5501 of 8208.
+	resp, body := get(t, ts.URL+"/v1/tables/S?format=csv&filter=A%3D20%3A20")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filtered stream: %s (%s)", resp.Status, body)
+	}
+	if got := resp.Header.Get(HeaderFilter); got != "A=20" {
+		t.Fatalf("filter echo = %q, want canonical %q", got, "A=20")
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if got := len(lines) - 1; got != 5501 { // minus header line
+		t.Fatalf("filtered stream has %d rows, want 5501", got)
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, ",20,") {
+			t.Fatalf("non-matching row in filtered stream: %q", line)
+		}
+	}
+
+	rejections := map[string]string{
+		"malformed":      "/v1/tables/S?format=csv&filter=A%3Dgarbage",
+		"unknown column": "/v1/tables/S?format=csv&filter=Z%3D1",
+		"aligned format": "/v1/tables/S?format=sql&filter=A%3D20",
+	}
+	for name, path := range rejections {
+		resp, body := get(t, ts.URL+path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: GET %s = %s, want 400", name, path, resp.Status)
+			continue
+		}
+		var doc struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil || doc.Error == "" {
+			t.Errorf("%s: body %q is not a JSON error", name, body)
+		}
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	if want := fmt.Sprintf("hydra_serve_filter_rejected_total %d", len(rejections)); !strings.Contains(string(metrics), want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}
+
 // TestSummaryAndHealth: the fleet-management endpoints describe the
 // loaded summary and its digest.
 func TestSummaryAndHealth(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 
 	"github.com/dsl-repro/hydra/internal/matgen"
 	"github.com/dsl-repro/hydra/internal/obs"
+	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/rate"
 )
 
@@ -27,7 +28,12 @@ const (
 	HeaderAlign     = "X-Hydra-Align"
 	HeaderChunkRows = "X-Hydra-Chunk-Rows"
 	HeaderDigest    = "X-Hydra-Summary-Digest"
-	TrailerSha256   = "X-Hydra-Sha256"
+	// HeaderFilter echoes the canonical encoding of the filter a stream
+	// was produced under. Clients that push predicates down require the
+	// echo: a server that ignored filter= would stream every row, which
+	// is silently wrong, not an error — the echo is the proof it didn't.
+	HeaderFilter  = "X-Hydra-Filter"
+	TrailerSha256 = "X-Hydra-Sha256"
 )
 
 // handleTable serves GET /v1/tables/{table}: a resumable, rate-limited
@@ -37,6 +43,10 @@ const (
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	opts, err := streamOptionsFromQuery(r)
 	if err != nil {
+		if errors.Is(err, matgen.ErrFilter) {
+			s.rejectFilter(w, err)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -46,6 +56,10 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	}
 	plan, err := matgen.PlanStream(s.sum, *opts)
 	if err != nil {
+		if errors.Is(err, matgen.ErrFilter) {
+			s.rejectFilter(w, err)
+			return
+		}
 		status := http.StatusInternalServerError
 		if errors.Is(err, matgen.ErrStream) {
 			status = http.StatusBadRequest
@@ -61,6 +75,9 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	// describes, so a client that plans a scan from info=1 can demand
 	// the data stream come from the same database.
 	w.Header().Set(HeaderDigest, s.digest)
+	if !opts.Filter.Empty() {
+		w.Header().Set(HeaderFilter, opts.Filter.Encode())
+	}
 	if r.URL.Query().Get("info") == "1" {
 		writeJSON(w, http.StatusOK, info)
 		return
@@ -104,6 +121,16 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.Set(TrailerSha256, hex.EncodeToString(sum.Sum(nil)))
+}
+
+// rejectFilter answers a stream request whose filter= was unusable:
+// 400 with a JSON error body (the shape scan clients already map onto
+// their spec-error sentinel) and a bump of the rejection counter — the
+// signal that separates "clients sending broken predicates" from the
+// rest of the 400 noise.
+func (s *Server) rejectFilter(w http.ResponseWriter, err error) {
+	s.m.filterRejected.Inc()
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 }
 
 // logStream emits one structured record per completed (or aborted)
@@ -154,6 +181,17 @@ func streamOptionsFromQuery(r *http.Request) (*matgen.StreamOptions, error) {
 		for _, name := range strings.Split(v, ",") {
 			opts.Columns = append(opts.Columns, strings.TrimSpace(name))
 		}
+	}
+	// filter= pushes a row predicate down to the encode stream, in the
+	// canonical encoding pred produces (pred.Filter.Encode). Column
+	// existence is checked against the relation in matgen; only the
+	// encoding's syntax is validated here.
+	if v := q.Get("filter"); v != "" {
+		f, err := pred.DecodeFilter(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", matgen.ErrFilter, err)
+		}
+		opts.Filter = f
 	}
 	var err error
 	if opts.Shard, opts.Shards, err = parseShard(q.Get("shard")); err != nil {

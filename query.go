@@ -1,0 +1,41 @@
+package hydra
+
+import "github.com/dsl-repro/hydra/internal/pred"
+
+// Filtering the read path: a ScanSpec.Filter restricts a scan to the
+// rows satisfying a conjunction of per-column predicates, and every
+// backend evaluates it as early as its representation allows — the
+// summary source skips whole generator spans whose constant columns
+// fail, a directory source jumps over part files whose pk ranges
+// cannot match, and a remote source ships the filter to the fleet so
+// only matching rows cross the network. Build filters fluently:
+//
+//	spec.Filter = hydra.Col("A").In(20, 59).And(hydra.Col("B").Eq(5))
+//
+// or parse the SQL-ish form the CLI's -where flag and the database/sql
+// driver accept:
+//
+//	f, err := hydra.ParseWhere("A BETWEEN 20 AND 59 AND B = 5")
+type (
+	// Filter is a conjunction of per-column interval-set predicates
+	// over a relation's integer columns. The zero value matches every
+	// row. Filters are immutable; And and the ColRef builders return
+	// new values.
+	Filter = pred.Filter
+	// ColRef names a column while a Filter predicate is being built;
+	// see Col.
+	ColRef = pred.ColRef
+)
+
+// Col starts a Filter predicate on the named column:
+// Col("A").In(20, 59), Col("B").Eq(5), Col("C").OneOf(1, 5, 9),
+// Col("D").AtLeast(10), Col("D").AtMost(99). Column names are checked
+// against the table when the scan starts, not here.
+func Col(name string) ColRef { return pred.Col(name) }
+
+// ParseWhere parses a SQL-style conjunction — column comparisons
+// (=, !=, <>, <, <=, >, >=), BETWEEN lo AND hi, and IN (v, ...),
+// joined by AND — into a Filter. It accepts exactly the grammar of
+// `hydra scan -where` and of the WHERE clause the database/sql driver
+// understands.
+func ParseWhere(s string) (Filter, error) { return pred.ParseWhere(s) }

@@ -32,7 +32,8 @@ type (
 	// Scan is the pull-based batch iterator a Source returns.
 	Scan = scan.Scan
 	// ScanSpec selects what a Scan reads: table, column projection,
-	// pk range, shard i/N split, batch size, rows/s rate limit.
+	// pk range, filter predicate (Filter, built with Col or ParseWhere),
+	// shard i/N split, batch size, rows/s rate limit.
 	ScanSpec = scan.Spec
 	// ScanTableInfo describes one scannable relation.
 	ScanTableInfo = scan.TableInfo
