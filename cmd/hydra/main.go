@@ -38,10 +38,12 @@ import (
 	"io"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -49,6 +51,7 @@ import (
 	"time"
 
 	hydra "github.com/dsl-repro/hydra"
+	"github.com/dsl-repro/hydra/internal/faultinject"
 	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/summary"
@@ -75,6 +78,8 @@ func main() {
 		err = cmdScan(os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(os.Args[2:])
+	case "faultproxy":
+		err = cmdFaultProxy(os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
 	case "demo":
@@ -112,6 +117,8 @@ usage:
   hydra loadgen     (-summary summary.json | -dir out/ | -remote http://a,http://b)
                     [-c 8] [-d 10s] [-rows-per-request 10000] [-tables a,b] [-batch N]
                     [-max-requests N] [-seed S] [-json]
+  hydra faultproxy  -upstream http://host:port [-listen 127.0.0.1:0] [-seed S] [-rate 0.3]
+                    [-faults refuse,500,503,cut,stall,corrupt] [-flap down/period] [-exempt-health]
   hydra generate    -summary summary.json -table T [-n 10] [-from 1]
   hydra demo
 `)
@@ -424,6 +431,8 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "encode workers per shard job when the request leaves it unset (0 = GOMAXPROCS)")
 	debugAddr := fs.String("debug-addr", "", "second listener with /debug/pprof/* and /metrics (e.g. 127.0.0.1:8373); empty disables")
 	logStreams := fs.Bool("log-streams", false, "log one structured line per completed table stream to stderr")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound after SIGTERM: in-flight streams get this long before force-close")
+	writeTimeout := fs.Duration("write-timeout", time.Minute, "per-chunk write deadline; a client that stops reading for this long loses its stream (0 = none)")
 	fs.Parse(args)
 	if *sumPath == "" {
 		return fmt.Errorf("serve: -summary is required")
@@ -465,10 +474,12 @@ func cmdServe(args []string) error {
 		}()
 	}
 	opts := hydra.ServeOptions{
-		MaxStreams: *maxStreams,
-		RateLimit:  *rateLimit,
-		Workers:    *workers,
-		Log:        log.New(os.Stderr, "", log.LstdFlags),
+		MaxStreams:   *maxStreams,
+		RateLimit:    *rateLimit,
+		Workers:      *workers,
+		Log:          log.New(os.Stderr, "", log.LstdFlags),
+		DrainTimeout: *drainTimeout,
+		WriteTimeout: *writeTimeout,
 	}
 	if *logStreams {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -704,6 +715,16 @@ func cmdLoadgen(args []string) error {
 		fmtSeconds(rep.Latency.P50), fmtSeconds(rep.Latency.P95),
 		fmtSeconds(rep.Latency.P99), fmtSeconds(rep.Latency.P999), fmtSeconds(rep.Latency.Max))
 	if rep.Errors > 0 {
+		cats := make([]string, 0, len(rep.ErrorsByCategory))
+		for cat := range rep.ErrorsByCategory {
+			cats = append(cats, cat)
+		}
+		sort.Strings(cats)
+		parts := make([]string, 0, len(cats))
+		for _, cat := range cats {
+			parts = append(parts, fmt.Sprintf("%s %d", cat, rep.ErrorsByCategory[cat]))
+		}
+		fmt.Fprintf(os.Stderr, "  errors      %d (%s)\n", rep.Errors, strings.Join(parts, ", "))
 		for _, msg := range rep.ErrorSamples {
 			fmt.Fprintf(os.Stderr, "  error: %s\n", msg)
 		}
@@ -716,6 +737,83 @@ func cmdLoadgen(args []string) error {
 // fmtSeconds renders a latency sample with duration units.
 func fmtSeconds(s float64) string {
 	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// cmdFaultProxy runs the chaos proxy standalone: it fronts one fleet
+// member and injects a deterministic fault sequence, for torturing a
+// fleet client outside the test suite.
+func cmdFaultProxy(args []string) error {
+	fs := flag.NewFlagSet("faultproxy", flag.ExitOnError)
+	upstream := fs.String("upstream", "", "base URL of the fleet member to front (required)")
+	listen := fs.String("listen", "127.0.0.1:0", "listen address")
+	seed := fs.Int64("seed", 1, "fault sequence seed; same seed, same faults")
+	rate := fs.Float64("rate", 0.3, "per-request fault probability")
+	faultList := fs.String("faults", "refuse,500,503,cut,stall,corrupt",
+		"comma-separated fault kinds to draw from")
+	flap := fs.String("flap", "", "deterministic flapping as down/period request counts (overrides -rate)")
+	exempt := fs.Bool("exempt-health", false, "never fault /healthz probes")
+	fs.Parse(args)
+	if *upstream == "" {
+		return fmt.Errorf("faultproxy: -upstream is required")
+	}
+	var faults []faultinject.Fault
+	for _, tok := range strings.Split(*faultList, ",") {
+		switch strings.TrimSpace(tok) {
+		case "":
+		case "refuse":
+			faults = append(faults, faultinject.Fault{Kind: faultinject.KindRefuse})
+		case "500":
+			faults = append(faults, faultinject.Fault{Kind: faultinject.KindStatus, Status: http.StatusInternalServerError})
+		case "503":
+			faults = append(faults, faultinject.Fault{Kind: faultinject.KindStatus, Status: http.StatusServiceUnavailable, RetryAfter: "1"})
+		case "cut":
+			faults = append(faults, faultinject.Fault{Kind: faultinject.KindCut, AfterBytes: 4096})
+		case "stall":
+			faults = append(faults, faultinject.Fault{Kind: faultinject.KindStall, AfterBytes: 2048, StallFor: 2 * time.Second})
+		case "corrupt":
+			faults = append(faults, faultinject.Fault{Kind: faultinject.KindCorrupt, AfterBytes: 1024})
+		default:
+			return fmt.Errorf("faultproxy: unknown fault kind %q (want refuse, 500, 503, cut, stall, corrupt)", tok)
+		}
+	}
+	if len(faults) == 0 {
+		return fmt.Errorf("faultproxy: -faults selected nothing")
+	}
+	var decide faultinject.Decider
+	if *flap != "" {
+		downStr, periodStr, ok := strings.Cut(*flap, "/")
+		down, err1 := strconv.ParseInt(downStr, 10, 64)
+		period, err2 := strconv.ParseInt(periodStr, 10, 64)
+		if !ok || err1 != nil || err2 != nil || down < 0 || period < 1 || down > period {
+			return fmt.Errorf("faultproxy: -flap wants down/period request counts (e.g. 5/20), got %q", *flap)
+		}
+		decide = faultinject.Flap(period, down, faults[0])
+	} else {
+		decide = faultinject.Flaky(*seed, *rate, faults...)
+	}
+	if *exempt {
+		decide = faultinject.ExemptHealth(decide)
+	}
+	proxy, err := faultinject.New(*upstream, decide)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("faultproxy: listening on http://%s, fronting %s", ln.Addr(), *upstream)
+	srv := &http.Server{Handler: proxy}
+	ctx, cancel := timeoutContext(0)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
 }
 
 func cmdGenerate(args []string) error {

@@ -16,8 +16,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -94,6 +97,50 @@ type Report struct {
 	// ErrorSamples holds up to a handful of failure messages — enough to
 	// diagnose, bounded so a pathological run cannot balloon the report.
 	ErrorSamples []string `json:"error_samples,omitempty"`
+	// ErrorsByCategory breaks Errors down by coarse failure class
+	// (refused / truncated / busy / timeout / spec / other), so a chaos
+	// run reports what was absorbed, not just a count.
+	ErrorsByCategory map[string]int64 `json:"errors_by_category,omitempty"`
+}
+
+// Categorize maps one request failure onto the report's coarse error
+// classes. The classes are deliberately few: "refused" (could not
+// reach or keep a connection), "truncated" (a stream died or tore
+// mid-body), "busy" (capacity 503s exhausted the retry budget),
+// "timeout" (deadline expired), "spec" (the request itself was
+// rejected), "other" (everything else).
+func Categorize(err error) string {
+	if err == nil {
+		return ""
+	}
+	var ne net.Error
+	switch {
+	case errors.Is(err, scan.ErrSpec):
+		return "spec"
+	case errors.Is(err, context.DeadlineExceeded), errors.As(err, &ne) && ne.Timeout():
+		return "timeout"
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return "truncated"
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "unexpected EOF"),
+		strings.Contains(msg, "csv row"),
+		strings.Contains(msg, "csv cell"):
+		return "truncated"
+	case strings.Contains(msg, "503"),
+		strings.Contains(msg, "Service Unavailable"):
+		return "busy"
+	case strings.Contains(msg, "connection refused"),
+		strings.Contains(msg, "connection reset"),
+		strings.Contains(msg, "EOF"),
+		strings.Contains(msg, "no fleet member available"):
+		return "refused"
+	case strings.Contains(msg, "timeout"),
+		strings.Contains(msg, "deadline"):
+		return "timeout"
+	}
+	return "other"
 }
 
 // workload is one resolved target: a table and its cardinality.
@@ -153,6 +200,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		rows     int64
 		samples  []float64
 		errMsgs  []string
+		errCats  map[string]int64
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -164,6 +212,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			var localSamples []float64
 			var localReqs, localErrs, localRows int64
 			var localMsgs []string
+			localCats := make(map[string]int64)
 			for runCtx.Err() == nil && budget.take() {
 				wl := targets[rng.Intn(len(targets))]
 				startPK := 1 + rng.Int63n(wl.rows)
@@ -187,6 +236,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 				localSamples = append(localSamples, d.Seconds())
 				if err != nil {
 					localErrs++
+					localCats[Categorize(err)]++
 					if len(localMsgs) < maxErrorSamples {
 						localMsgs = append(localMsgs, err.Error())
 					}
@@ -201,6 +251,12 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 				if len(errMsgs) < maxErrorSamples {
 					errMsgs = append(errMsgs, m)
 				}
+			}
+			for cat, n := range localCats {
+				if errCats == nil {
+					errCats = make(map[string]int64)
+				}
+				errCats[cat] += n
 			}
 			mu.Unlock()
 		}(k)
@@ -220,6 +276,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	sort.Strings(errMsgs)
 	rep.ErrorSamples = errMsgs
+	rep.ErrorsByCategory = errCats
 	if err := ctx.Err(); err != nil {
 		return rep, err
 	}

@@ -2,6 +2,9 @@ package loadgen
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -115,4 +118,73 @@ func TestSummarizePercentiles(t *testing.T) {
 	if got := summarize(nil); got != (Latency{}) {
 		t.Fatalf("empty summarize %+v", got)
 	}
+}
+
+// TestCategorize: each coarse error class is recognized from the
+// shapes the scan backends actually produce (usually wrapped in a
+// "fleet exhausted" envelope).
+func TestCategorize(t *testing.T) {
+	wrap := func(msg string) error {
+		return fmt.Errorf("scan: fleet exhausted after 6 attempts, last: %s", msg)
+	}
+	cases := map[string]struct {
+		err  error
+		want string
+	}{
+		"nil":            {nil, ""},
+		"spec":           {fmt.Errorf("%w: no such table", scan.ErrSpec), "spec"},
+		"deadline":       {context.DeadlineExceeded, "timeout"},
+		"unexpected eof": {io.ErrUnexpectedEOF, "truncated"},
+		"wrapped tear":   {wrap("http://x: unexpected EOF"), "truncated"},
+		"torn csv row":   {wrap("csv row has 2 of 3 columns"), "truncated"},
+		"corrupt cell":   {wrap(`csv cell 1: parsing "\x00": invalid syntax`), "truncated"},
+		"busy 503":       {wrap("http://x answered 503 Service Unavailable: at capacity"), "busy"},
+		"refused":        {wrap("http://x: dial tcp: connection refused"), "refused"},
+		"reset":          {wrap("http://x: read: connection reset by peer"), "refused"},
+		"breakers open":  {wrap("resilience: no fleet member available (all breakers open)"), "refused"},
+		"client timeout": {wrap("context deadline exceeded (Client.Timeout)"), "timeout"},
+		"something else": {errors.New("disk full"), "other"},
+	}
+	for name, tc := range cases {
+		if got := Categorize(tc.err); got != tc.want {
+			t.Errorf("%s: Categorize(%v) = %q, want %q", name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestRunReportsErrorCategories: a source that always fails populates
+// the per-category breakdown and the totals agree.
+func TestRunReportsErrorCategories(t *testing.T) {
+	src := failingSource{inner: scan.NewSummarySource(testSummary())}
+	rep, err := Run(context.Background(), Options{
+		Source: src, Concurrency: 2, MaxRequests: 6,
+		RowsPerRequest: 10, Duration: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 6 {
+		t.Fatalf("errors %d, want 6", rep.Errors)
+	}
+	var sum int64
+	for _, n := range rep.ErrorsByCategory {
+		sum += n
+	}
+	if sum != rep.Errors {
+		t.Fatalf("category counts sum to %d, want %d (%v)", sum, rep.Errors, rep.ErrorsByCategory)
+	}
+	if rep.ErrorsByCategory["busy"] != 6 {
+		t.Fatalf("busy = %d, want 6 (%v)", rep.ErrorsByCategory["busy"], rep.ErrorsByCategory)
+	}
+}
+
+// failingSource delegates metadata but fails every scan like a
+// saturated fleet.
+type failingSource struct{ inner scan.Source }
+
+func (f failingSource) Tables() ([]string, error)               { return f.inner.Tables() }
+func (f failingSource) Table(n string) (*scan.TableInfo, error) { return f.inner.Table(n) }
+func (f failingSource) Close() error                            { return f.inner.Close() }
+func (f failingSource) Scan(ctx context.Context, spec scan.Spec) (*scan.Scan, error) {
+	return nil, errors.New("http://x answered 503 Service Unavailable: at capacity")
 }

@@ -111,6 +111,19 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a float that can move freely — EWMAs of observed
+// latency or throughput, utilization ratios. Set/Value are single
+// atomic operations on the value's bits.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram is a fixed-bucket distribution — latencies, rows per
 // request. Buckets are cumulative at exposition time (Prometheus `le`
 // semantics) but independent atomics on the record path: Observe does
@@ -311,6 +324,13 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return f.get(labels, func() any { return new(Gauge) }).(*Gauge)
 }
 
+// FloatGauge returns the registered float gauge for the name and label
+// set — the shape of EWMA and ratio metrics.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	f := r.family(name, help, kindGauge, nil)
+	return f.get(labels, func() any { return new(FloatGauge) }).(*FloatGauge)
+}
+
 // Histogram returns the registered histogram for the name and label
 // set. The first registration of a name fixes the family's bucket
 // bounds; later calls may pass nil to reuse them.
@@ -425,6 +445,12 @@ func (f *family) write(b *strings.Builder) {
 			b.WriteString(key)
 			b.WriteByte(' ')
 			b.WriteString(strconv.FormatInt(m.Value(), 10))
+			b.WriteByte('\n')
+		case *FloatGauge:
+			b.WriteString(f.name)
+			b.WriteString(key)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(m.Value()))
 			b.WriteByte('\n')
 		case *Histogram:
 			writeHistogram(b, f.name, key, m)

@@ -24,6 +24,7 @@ import (
 
 	"github.com/dsl-repro/hydra/internal/matgen"
 	"github.com/dsl-repro/hydra/internal/obs"
+	"github.com/dsl-repro/hydra/internal/resilience"
 	"github.com/dsl-repro/hydra/internal/summary"
 )
 
@@ -70,11 +71,14 @@ type Options struct {
 	// Retries is how many times a failed shard is re-run before the job
 	// gives up; negative means no retries. Zero means DefaultRetries.
 	Retries int
-	// RetryBackoff is the pause before each re-run — the grace period a
-	// remote runner needs to fail over, and the damper that keeps a
-	// flapping executor from being hammered. Zero means
-	// DefaultRetryBackoff; negative means none. The pause observes ctx:
-	// a canceled job never sleeps out its backoff.
+	// RetryBackoff is the backoff ceiling before each re-run — the grace
+	// period a remote runner needs to fail over, and the damper that
+	// keeps a flapping executor from being hammered. The actual pause is
+	// drawn with full jitter: retry k sleeps uniformly in
+	// [0, RetryBackoff<<k-1], so shards that failed together do not
+	// retry in lockstep. Zero means DefaultRetryBackoff; negative means
+	// none. The pause observes ctx: a canceled job never sleeps out its
+	// backoff.
 	RetryBackoff time.Duration
 	// Runner executes shard jobs; nil means the in-process LocalRunner.
 	Runner Runner
@@ -287,12 +291,14 @@ func Run(ctx context.Context, sum *summary.Summary, opts Options) (*Result, erro
 	return res, nil
 }
 
-// runShard runs one job with retries, pausing backoff between attempts.
-// Re-running is safe: matgen truncates its output files on open, and the
-// manifest write is atomic. Cancellation is respected everywhere a
-// retry could stall: before the first attempt, during the backoff pause
-// (a canceled job returns immediately instead of sleeping it out), and
-// after a failed attempt.
+// runShard runs one job with retries, pausing a jittered backoff
+// between attempts (full jitter over a doubling ceiling, so shards that
+// failed together spread their retries instead of stampeding the
+// runner in lockstep). Re-running is safe: matgen truncates its output
+// files on open, and the manifest write is atomic. Cancellation is
+// respected everywhere a retry could stall: before the first attempt,
+// during the backoff pause (a canceled job returns immediately instead
+// of sleeping it out), and after a failed attempt.
 func runShard(ctx context.Context, runner Runner, sum *summary.Summary, job ShardJob, retries int, backoff time.Duration) ShardResult {
 	sr := ShardResult{Shard: job.Shard}
 	if err := ctx.Err(); err != nil {
@@ -308,16 +314,13 @@ func runShard(ctx context.Context, runner Runner, sum *summary.Summary, job Shar
 			mShardsFailed.Inc()
 		}
 	}()
+	pol := resilience.Policy{Base: backoff, Max: 8 * backoff}
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			mShardRetriesErr.Inc()
 			if backoff > 0 {
-				timer := time.NewTimer(backoff)
-				select {
-				case <-ctx.Done():
-					timer.Stop()
+				if resilience.Sleep(ctx, pol.Delay(attempt)) != nil {
 					return sr // keep the last attempt's error, not ctx's
-				case <-timer.C:
 				}
 			}
 		}

@@ -1,0 +1,173 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the member is benched; Allow refuses until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe has
+	// been admitted; its outcome decides between Closed and Open.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer (and the metric label values).
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-member circuit breaker: closed → open after
+// threshold consecutive failures, open → half-open after cooldown
+// (admitting one probe), half-open → closed on probe success or back to
+// open on probe failure. A zero threshold disables it (always closed).
+//
+// Safe for concurrent use. The breaker deliberately has no opinion
+// about what a "failure" is — consumers report outcomes; capacity 503s,
+// for example, are not failures and must not be reported as such.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test seam
+	state     BreakerState
+	fails     int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last opened
+	onChange  func(to BreakerState)
+}
+
+// NewBreaker builds a breaker. threshold <= 0 disables it; cooldown <= 0
+// means DefaultBreakerCooldown. onChange, when non-nil, observes every
+// state transition (used for the transition counters).
+func NewBreaker(threshold int, cooldown time.Duration, onChange func(to BreakerState)) *Breaker {
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now, onChange: onChange}
+}
+
+// set records a transition while b.mu is held and returns whether one
+// happened; the caller fires onChange AFTER unlocking (the callback may
+// read breaker state, so invoking it under the lock would deadlock).
+func (b *Breaker) set(to BreakerState) bool {
+	if b.state == to {
+		return false
+	}
+	b.state = to
+	return true
+}
+
+// notify fires the transition callback; call only with b.mu released.
+func (b *Breaker) notify(changed bool, to BreakerState) {
+	if changed && b.onChange != nil {
+		b.onChange(to)
+	}
+}
+
+// State returns the breaker's current position (an open breaker whose
+// cooldown has elapsed still reports Open until a probe is admitted).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a request may be sent to this member. On an
+// open breaker whose cooldown has elapsed it admits exactly one caller
+// as the half-open probe; that caller's Success or Failure settles the
+// breaker, and everyone else keeps getting false in the meantime.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		b.mu.Unlock()
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			changed := b.set(BreakerHalfOpen)
+			b.mu.Unlock()
+			b.notify(changed, BreakerHalfOpen)
+			return true
+		}
+		b.mu.Unlock()
+		return false
+	default: // half-open: the probe slot is taken
+		b.mu.Unlock()
+		return false
+	}
+}
+
+// Success reports a completed request (or health probe), closing the
+// breaker and resetting the failure streak.
+func (b *Breaker) Success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails = 0
+	changed := b.set(BreakerClosed)
+	b.mu.Unlock()
+	b.notify(changed, BreakerClosed)
+}
+
+// ProbeSuccess is Success for background health probes, with one
+// difference: it does not short-circuit an open breaker's cooldown. A
+// member whose /healthz recovered instantly but whose streams were
+// failing a moment ago stays benched for the full cooldown, which is
+// what stops a flapping member from whipsawing the fleet every probe
+// interval.
+func (b *Breaker) ProbeSuccess() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) < b.cooldown {
+		b.mu.Unlock()
+		return
+	}
+	b.fails = 0
+	changed := b.set(BreakerClosed)
+	b.mu.Unlock()
+	b.notify(changed, BreakerClosed)
+}
+
+// Failure reports a failed request or probe. The half-open probe
+// failing re-opens the breaker (restarting the cooldown); the
+// threshold-th consecutive failure opens a closed one.
+func (b *Breaker) Failure() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	var changed bool
+	switch b.state {
+	case BreakerHalfOpen:
+		b.openedAt = b.now()
+		changed = b.set(BreakerOpen)
+	case BreakerClosed:
+		if b.fails++; b.fails >= b.threshold {
+			b.fails = 0
+			b.openedAt = b.now()
+			changed = b.set(BreakerOpen)
+		}
+	}
+	b.mu.Unlock()
+	b.notify(changed, BreakerOpen)
+}

@@ -1,0 +1,144 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is the breaker's time seam.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown, nil)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("two failures must not open a threshold-3 breaker")
+	}
+	b.Success() // streak reset
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success must reset the failure streak")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("third consecutive failure must open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse before the cooldown")
+	}
+}
+
+func TestBreakerHalfOpenReadmission(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Second)
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+
+	// Cooldown not elapsed: still refusing.
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("Allow before cooldown must refuse")
+	}
+
+	// Cooldown elapsed: exactly one probe admitted.
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("first Allow after cooldown must admit the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half_open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller must not share the half-open probe slot")
+	}
+
+	// Probe failure re-opens and restarts the cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker must refuse until a fresh cooldown passes")
+	}
+
+	// A recovered member: probe succeeds, breaker closes, traffic flows.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed again: probe must be admitted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe must close the breaker")
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker must admit everyone")
+	}
+}
+
+func TestBreakerProbeSuccessRespectsCooldown(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	// A flapping member's /healthz recovers instantly; the breaker must
+	// keep it benched for the full cooldown anyway.
+	b.ProbeSuccess()
+	if b.State() != BreakerOpen {
+		t.Fatal("ProbeSuccess inside the cooldown must not close the breaker")
+	}
+	clk.advance(time.Second)
+	b.ProbeSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatal("ProbeSuccess after the cooldown must close the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(0, time.Second, nil)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+	}
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("threshold 0 disables the breaker")
+	}
+	var nilB *Breaker
+	if !nilB.Allow() {
+		t.Fatal("nil breaker must allow")
+	}
+	nilB.Success()
+	nilB.Failure() // must not panic
+}
+
+func TestBreakerTransitionCallback(t *testing.T) {
+	var seen []BreakerState
+	b := NewBreaker(1, time.Millisecond, func(to BreakerState) { seen = append(seen, to) })
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b.now = clk.now
+	b.Failure()
+	clk.advance(time.Millisecond)
+	b.Allow()
+	b.Success()
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seen, want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayFullJitter(t *testing.T) {
+	// With the rand seam pinned to "always the ceiling", Delay exposes
+	// the exponential cap sequence; with "always zero" it shows the
+	// jitter floor is zero.
+	pMax := Policy{Base: 100 * time.Millisecond, Max: time.Second,
+		Rand: func(n int64) int64 { return n - 1 }}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, time.Second, time.Second}
+	for i, w := range want {
+		if got := pMax.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) ceiling = %v, want %v", i+1, got, w)
+		}
+	}
+	pMin := Policy{Base: 100 * time.Millisecond, Max: time.Second,
+		Rand: func(int64) int64 { return 0 }}
+	if got := pMin.Delay(3); got != 0 {
+		t.Errorf("Delay floor = %v, want 0", got)
+	}
+	// Unpinned, the delay stays within [0, ceiling].
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for k := 1; k <= 8; k++ {
+		d := p.Delay(k)
+		if d < 0 || d > 80*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v outside [0, 80ms]", k, d)
+		}
+	}
+}
+
+func TestAttemptCapAndRetryAfterFloor(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond, MaxAttempts: 3,
+		Rand: func(int64) int64 { return 0 }}
+	a := p.Begin()
+	ctx := context.Background()
+	if !a.Next(ctx, 0) || !a.Next(ctx, 0) {
+		t.Fatal("first two retries should be admitted")
+	}
+	if a.Next(ctx, 0) {
+		t.Fatal("third retry exceeds MaxAttempts=3")
+	}
+	if a.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", a.Retries())
+	}
+
+	// A Retry-After floor must stretch the sleep even when the jittered
+	// delay would be ~zero.
+	a2 := p.Begin()
+	t0 := time.Now()
+	if !a2.Next(ctx, 50*time.Millisecond) {
+		t.Fatal("retry with floor should be admitted")
+	}
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("slept %v, want >= 50ms (Retry-After floor)", d)
+	}
+}
+
+func TestAttemptObservesContext(t *testing.T) {
+	p := Policy{Base: time.Hour, Max: time.Hour, MaxAttempts: 5,
+		Rand: func(n int64) int64 { return n - 1 }}
+	ctx, cancel := context.WithCancel(context.Background())
+	a := p.Begin()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	if a.Next(ctx, 0) {
+		t.Fatal("canceled context must refuse the retry")
+	}
+	if time.Since(t0) > 5*time.Second {
+		t.Fatal("Next slept out the backoff despite cancellation")
+	}
+}
+
+func TestBudgetFailsFastDuringOutage(t *testing.T) {
+	// ratio 0.5, burst 4: a dead fleet gets 4 burst retries, then every
+	// request earns only half a retry — so sustained failure sees
+	// retries refused, not multiplied.
+	b := NewBudget(0.5, 4)
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond, MaxAttempts: 10, Budget: b,
+		Rand: func(int64) int64 { return 0 }}
+	ctx := context.Background()
+	granted := 0
+	for req := 0; req < 8; req++ {
+		a := p.Begin()
+		for a.Next(ctx, 0) {
+			granted++
+		}
+	}
+	// The bucket starts full at the burst (4), so the first request's
+	// deposit is lost to the cap and its retries drain the reserve; each
+	// later request earns half a token. 4 + floor-paced 3 = 7 grants,
+	// even though MaxAttempts alone would have allowed 9 per request.
+	if granted != 7 {
+		t.Fatalf("outage granted %d retries, want 7 (burst + ratio-paced)", granted)
+	}
+
+	// Recovery: successful traffic (deposits without withdrawals)
+	// refills the bucket.
+	for i := 0; i < 4; i++ {
+		p.Begin()
+	}
+	a := p.Begin()
+	if !a.Next(ctx, 0) {
+		t.Fatal("refilled budget should admit a retry again")
+	}
+}
+
+func TestUnlimitedPolicyWithoutBudget(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond, MaxAttempts: 4,
+		Rand: func(int64) int64 { return 0 }}
+	a := p.Begin()
+	n := 0
+	for a.Next(context.Background(), 0) {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("no-budget policy granted %d retries, want MaxAttempts-1 = 3", n)
+	}
+}

@@ -10,11 +10,11 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
 	"github.com/dsl-repro/hydra/internal/obs"
+	"github.com/dsl-repro/hydra/internal/resilience"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
 )
 
@@ -42,6 +42,13 @@ type RemoteOptions struct {
 	// scan gives up; progress resets the count. 0 means twice the fleet
 	// size.
 	Attempts int
+	// Fleet tunes the resilience substrate under the source: background
+	// /healthz probing, per-member circuit breakers, jittered retry
+	// backoff, and the shared retry budget. The zero value means
+	// defaults (probing on, breakers on); set Fleet.ProbeInterval to a
+	// negative value to disable probing, Fleet.BreakerThreshold negative
+	// to disable breakers.
+	Fleet resilience.Options
 }
 
 // RemoteSource scans tables served by a fleet of `hydra serve` servers
@@ -56,7 +63,8 @@ type RemoteOptions struct {
 type RemoteSource struct {
 	servers []string
 	opts    RemoteOptions
-	next    atomic.Uint64
+	tracker *resilience.Tracker
+	policy  resilience.Policy
 	m       *backendMetrics
 }
 
@@ -85,7 +93,15 @@ func NewRemoteSource(servers []string, opts RemoteOptions) (*RemoteSource, error
 	if opts.Attempts <= 0 {
 		opts.Attempts = 2 * len(servers)
 	}
-	return &RemoteSource{servers: clean, opts: opts, m: metricsForBackend("remote")}, nil
+	tracker := resilience.NewTracker(clean, opts.Fleet)
+	tracker.Start()
+	return &RemoteSource{
+		servers: clean,
+		opts:    opts,
+		tracker: tracker,
+		policy:  tracker.Policy("scan", opts.Attempts),
+		m:       metricsForBackend("remote"),
+	}, nil
 }
 
 // Servers returns the fleet's base URLs.
@@ -101,28 +117,40 @@ const headerDigest = "X-Hydra-Summary-Digest"
 // headerFilter is serve's applied-filter echo header (serve.HeaderFilter).
 const headerFilter = "X-Hydra-Filter"
 
-// pick returns the next fleet member in round-robin order.
-func (s *RemoteSource) pick() string {
-	return s.servers[int(s.next.Add(1)-1)%len(s.servers)]
-}
-
 // getJSON fetches one JSON document with fleet failover, returning the
 // answering server's summary digest header (empty on servers that
-// predate it).
+// predate it). Member selection, backoff jitter, and the shared retry
+// budget come from the resilience substrate.
 func (s *RemoteSource) getJSON(ctx context.Context, path string, v any) (string, error) {
 	var lastErr error
-	for i := 0; i < s.opts.Attempts; i++ {
-		srv := s.pick()
+	a := s.policy.Begin()
+	for i := 0; ; i++ {
+		if i > 0 {
+			if i >= s.opts.Attempts || !a.Next(ctx, 0) {
+				break
+			}
+		}
+		m := s.tracker.Pick()
+		if m == nil {
+			// Every breaker is open: fail fast for this attempt; the
+			// jittered backoff before the next one gives a cooldown a
+			// chance to admit a half-open probe.
+			lastErr = resilience.ErrNoMembers
+			continue
+		}
+		srv := m.URL
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv+path, nil)
 		if err != nil {
 			return "", err
 		}
+		t0 := time.Now()
 		resp, err := s.opts.Client.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("%s: %w", srv, err)
 			if ctx.Err() != nil {
 				return "", lastErr
 			}
+			m.ReportFailure()
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
@@ -135,14 +163,21 @@ func (s *RemoteSource) getJSON(ctx context.Context, path string, v any) (string,
 				return "", fmt.Errorf("%w: %v", ErrSpec, err)
 			}
 			lastErr = err
+			// 503 is capacity (or drain) signaling from a healthy member,
+			// not a failure; everything else counts against its breaker.
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				m.ReportFailure()
+			}
 			continue
 		}
 		err = json.NewDecoder(resp.Body).Decode(v)
 		resp.Body.Close()
 		if err != nil {
 			lastErr = fmt.Errorf("%s: %w", srv, err)
+			m.ReportFailure()
 			continue
 		}
+		m.ReportSuccess(time.Since(t0), 0)
 		return resp.Header.Get(headerDigest), nil
 	}
 	return "", fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", s.opts.Attempts, lastErr)
@@ -235,9 +270,16 @@ func (s *RemoteSource) Scan(ctx context.Context, spec Spec) (*Scan, error) {
 	return newScan(ctx, r, f, s.m), nil
 }
 
-// Close implements Source; idle HTTP connections belong to the client's
-// transport.
-func (s *RemoteSource) Close() error { return nil }
+// Close implements Source: it stops the background health probes. Idle
+// HTTP connections belong to the client's transport.
+func (s *RemoteSource) Close() error {
+	s.tracker.Close()
+	return nil
+}
+
+// Tracker exposes the fleet tracker (member states, EWMAs) for
+// consumers that schedule over it.
+func (s *RemoteSource) Tracker() *resilience.Tracker { return s.tracker }
 
 // remoteFiller decodes one csv table stream into batches, reopening at
 // the current offset on another fleet member when a stream dies.
@@ -253,6 +295,12 @@ type remoteFiller struct {
 	digest string // summary digest pinned by the geometry (or first) response
 	fails  int
 	row    []int64
+
+	// member is the fleet member serving the open stream; openedAt and
+	// rowsRead feed its rows/s EWMA when the stream ends well.
+	member   *resilience.Member
+	openedAt time.Time
+	rowsRead int64
 
 	// Filtered mode: the server streams only matching rows, so stream
 	// position and batch position decouple. Each row carries its pk (at
@@ -287,10 +335,14 @@ func (f *remoteFiller) fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64
 				// The stream died (connection, truncation, torn row) —
 				// resume at this exact row on the next fleet member.
 				mRemoteResumes.Inc()
-				f.closeBody()
 				if cerr := ctx.Err(); cerr != nil {
+					// The scan was canceled; the member did nothing wrong.
+					f.finishStream(false)
+					f.closeBody()
 					return cerr
 				}
+				f.finishStream(true)
+				f.closeBody()
 				if f.fails++; f.fails >= f.src.opts.Attempts {
 					return fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", f.src.opts.Attempts, err)
 				}
@@ -299,6 +351,7 @@ func (f *remoteFiller) fill(ctx context.Context, b *tuplegen.Batch, lo, hi int64
 			break
 		}
 		f.fails = 0 // a decoded row is progress
+		f.rowsRead++
 		for c := range cols {
 			cols[c][i] = f.row[c]
 		}
@@ -355,33 +408,62 @@ func (f *remoteFiller) readRow(ctx context.Context) error {
 		err := f.rr.next(f.rowFull)
 		if err == nil {
 			f.fails = 0
+			f.rowsRead++
 			f.havePeek = true
 			f.resumeAbs = f.rowFull[f.pkIdx] // this row's abs is pk-1; resume after it
 			return nil
 		}
 		if err == io.EOF {
 			f.exhausted = true
+			f.finishStream(false)
 			f.closeBody()
 			return nil
 		}
 		mRemoteResumes.Inc()
-		f.closeBody()
 		if cerr := ctx.Err(); cerr != nil {
+			f.finishStream(false)
+			f.closeBody()
 			return cerr
 		}
+		f.finishStream(true)
+		f.closeBody()
 		if f.fails++; f.fails >= f.src.opts.Attempts {
 			return fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", f.src.opts.Attempts, err)
 		}
 	}
 }
 
-// openAt starts (or resumes) the table stream at absolute row abs.
+// openAt starts (or resumes) the table stream at absolute row abs,
+// picking members through the tracker (draining and open-breaker
+// members are skipped) and pacing failovers with the jittered,
+// budget-bounded retry policy.
 func (f *remoteFiller) openAt(ctx context.Context, abs int64) error {
 	f.closeBody()
 	var lastErr error
-	for f.fails < f.src.opts.Attempts {
-		srv := f.src.pick()
-		err := f.openOn(ctx, srv, abs)
+	a := f.src.policy.Begin()
+	for first := true; f.fails < f.src.opts.Attempts; first = false {
+		var floor time.Duration
+		if !first {
+			// Jittered backoff between failovers; a 503's Retry-After is
+			// the floor under the jitter.
+			var busy *busyError
+			if errors.As(lastErr, &busy) {
+				floor = busy.retryAfter
+			}
+			if !a.Next(ctx, floor) {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				break // attempt cap or shared retry budget exhausted
+			}
+		}
+		m := f.src.tracker.Pick()
+		if m == nil {
+			lastErr = resilience.ErrNoMembers
+			f.fails++
+			continue
+		}
+		err := f.openOn(ctx, m, abs)
 		if err == nil {
 			f.pos = abs
 			return nil
@@ -389,27 +471,25 @@ func (f *remoteFiller) openAt(ctx context.Context, abs int64) error {
 		if errors.Is(err, ErrSpec) || ctx.Err() != nil {
 			return err
 		}
-		lastErr = fmt.Errorf("%s: %w", srv, err)
+		lastErr = fmt.Errorf("%s: %w", m.URL, err)
 		f.fails++
 		mRemoteFailovers.Inc()
-		// A 503 is capacity signaling; give the fleet a beat before the
-		// next attempt instead of burning the budget in a tight loop.
 		var busy *busyError
 		if errors.As(err, &busy) {
+			// Capacity (or drain) pushback from a healthy member: no
+			// breaker hit; the Retry-After floors the next backoff.
 			mRemoteBusy.Inc()
-			t := time.NewTimer(busy.retryAfter)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return ctx.Err()
-			case <-t.C:
-			}
+			lastErr = fmt.Errorf("%s: %w", m.URL, busy)
+		} else {
+			m.ReportFailure()
 		}
 	}
 	return fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", f.src.opts.Attempts, lastErr)
 }
 
-func (f *remoteFiller) openOn(ctx context.Context, srv string, abs int64) error {
+func (f *remoteFiller) openOn(ctx context.Context, member *resilience.Member, abs int64) error {
+	srv := member.URL
+	t0 := time.Now()
 	q := url.Values{}
 	q.Set("format", "csv")
 	cols, nread := f.spec.Columns, f.ncols
@@ -476,7 +556,30 @@ func (f *remoteFiller) openOn(ctx context.Context, srv string, abs int64) error 
 		return err
 	}
 	f.body, f.rr = resp.Body, rr
+	// The open succeeded: close the member's breaker and record the
+	// time-to-first-byte as its latency observation. Rows/s follows when
+	// the stream ends (finishStream).
+	f.member, f.openedAt, f.rowsRead = member, time.Now(), 0
+	member.ReportSuccess(time.Since(t0), 0)
 	return nil
+}
+
+// finishStream settles the open stream's member accounting: a failed
+// stream counts against the member's breaker; a stream that delivered
+// rows and ended well feeds its rows/s EWMA.
+func (f *remoteFiller) finishStream(failed bool) {
+	m := f.member
+	if m == nil {
+		return
+	}
+	f.member = nil
+	if failed {
+		m.ReportFailure()
+		return
+	}
+	if d := time.Since(f.openedAt); f.rowsRead > 0 && d > 0 {
+		m.ReportSuccess(0, float64(f.rowsRead)/d.Seconds())
+	}
 }
 
 func (f *remoteFiller) closeBody() {
@@ -487,6 +590,9 @@ func (f *remoteFiller) closeBody() {
 }
 
 func (f *remoteFiller) close() error {
+	// A scan closed with its stream still open read everything it
+	// needed: that is a well-ended stream for EWMA purposes.
+	f.finishStream(false)
 	f.closeBody()
 	return nil
 }

@@ -17,11 +17,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
 	"github.com/dsl-repro/hydra/internal/orchestrate"
+	"github.com/dsl-repro/hydra/internal/resilience"
 	"github.com/dsl-repro/hydra/internal/summary"
 )
 
@@ -46,6 +46,13 @@ type RunnerOptions struct {
 	// requests. Only for fleets that manage summary identity some other
 	// way.
 	SkipSummaryCheck bool
+	// Fleet tunes the resilience substrate under the runner: background
+	// /healthz probing, per-member circuit breakers, jittered retry
+	// backoff, and the shared retry budget. The zero value means
+	// defaults (probing on, breakers on); set Fleet.ProbeInterval
+	// negative to disable probing, Fleet.BreakerThreshold negative to
+	// disable breakers.
+	Fleet resilience.Options
 }
 
 // RemoteRunner executes orchestrate shard jobs on a fleet of serve
@@ -59,7 +66,8 @@ type RunnerOptions struct {
 type RemoteRunner struct {
 	servers []string
 	opts    RunnerOptions
-	next    atomic.Uint64
+	tracker *resilience.Tracker
+	policy  resilience.Policy
 
 	mu     sync.Mutex
 	digSum *summary.Summary // summary the cached digest was computed for
@@ -88,11 +96,33 @@ func NewRemoteRunner(servers []string, opts RunnerOptions) (*RemoteRunner, error
 	if opts.Client == nil {
 		opts.Client = &http.Client{}
 	}
-	return &RemoteRunner{servers: clean, opts: opts}, nil
+	attempts := opts.Attempts
+	if attempts <= 0 {
+		attempts = len(clean)
+	}
+	tracker := resilience.NewTracker(clean, opts.Fleet)
+	tracker.Start()
+	return &RemoteRunner{
+		servers: clean,
+		opts:    opts,
+		tracker: tracker,
+		policy:  tracker.Policy("runner", attempts+maxBusyWaits),
+	}, nil
 }
 
 // Servers returns the fleet's base URLs.
 func (r *RemoteRunner) Servers() []string { return append([]string(nil), r.servers...) }
+
+// Tracker exposes the fleet tracker (member states, EWMAs) for
+// consumers that schedule over it.
+func (r *RemoteRunner) Tracker() *resilience.Tracker { return r.tracker }
+
+// Close stops the background health probes. The runner stays usable
+// afterwards; member state then moves only on job outcomes.
+func (r *RemoteRunner) Close() error {
+	r.tracker.Close()
+	return nil
+}
 
 // Run implements orchestrate.Runner: ship the job to a fleet member,
 // fetch the artifact bundle into the job's output directory, verify it
@@ -112,37 +142,57 @@ func (r *RemoteRunner) Run(ctx context.Context, sum *summary.Summary, job orches
 	if attempts <= 0 {
 		attempts = len(r.servers)
 	}
-	idx := int(r.next.Add(1) - 1)
 	var lastErr error
 	fails, busyWaits := 0, 0
-	for {
-		srv := r.servers[idx%len(r.servers)]
-		idx++
-		rep, err := r.runOn(ctx, srv, req, job)
-		if err == nil {
-			return rep, nil
+	a := r.policy.Begin()
+	for first := true; ; first = false {
+		if !first {
+			// Jittered, budget-bounded backoff between failovers; a 503's
+			// Retry-After floors the delay.
+			var floor time.Duration
+			var busy *busyError
+			if errors.As(lastErr, &busy) {
+				floor = busy.retryAfter
+			}
+			if !a.Next(ctx, floor) {
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("serve: shard %d/%d: %w", job.Shard+1, job.Opts.Shards, lastErr)
+				}
+				break // attempt cap or shared retry budget exhausted
+			}
 		}
-		lastErr = fmt.Errorf("%s: %w", srv, err)
-		if ctx.Err() != nil {
-			break // canceled; failing over cannot help
-		}
-		// A 503 is capacity signaling, not failure: the server is
-		// healthy but at -max-streams. Honor its Retry-After and move
-		// on through the rotation without burning a failover attempt —
-		// up to a bounded number of waits, so a permanently saturated
-		// fleet still surfaces an error to the orchestrator's retries.
-		var busy *busyError
-		if errors.As(err, &busy) && busyWaits < maxBusyWaits {
-			busyWaits++
-			timer := time.NewTimer(busy.retryAfter)
-			select {
-			case <-ctx.Done():
-				timer.Stop()
-				return nil, fmt.Errorf("serve: shard %d/%d: %w", job.Shard+1, job.Opts.Shards, lastErr)
-			case <-timer.C:
+		m := r.tracker.Pick()
+		if m == nil {
+			// Every breaker is open: count it as a failure and let the
+			// backoff give a cooldown the chance to admit a probe.
+			lastErr = resilience.ErrNoMembers
+			if fails++; fails >= attempts {
+				break
 			}
 			continue
 		}
+		rep, err := r.runOn(ctx, m.URL, req, job)
+		if err == nil {
+			m.ReportSuccess(0, float64(rep.Rows)/max(rep.Elapsed.Seconds(), 1e-9))
+			return rep, nil
+		}
+		lastErr = fmt.Errorf("%s: %w", m.URL, err)
+		if ctx.Err() != nil {
+			break // canceled; failing over cannot help
+		}
+		// A 503 is capacity (or drain) signaling, not failure: the
+		// member is healthy but at -max-streams. It costs a bounded
+		// busy-wait, not a failover attempt and not a breaker hit — so a
+		// permanently saturated fleet still surfaces an error to the
+		// orchestrator's retries.
+		var busy *busyError
+		if errors.As(err, &busy) {
+			if busyWaits++; busyWaits > maxBusyWaits {
+				break
+			}
+			continue
+		}
+		m.ReportFailure()
 		if fails++; fails >= attempts {
 			break
 		}

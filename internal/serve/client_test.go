@@ -16,6 +16,7 @@ import (
 
 	"github.com/dsl-repro/hydra/internal/matgen"
 	"github.com/dsl-repro/hydra/internal/orchestrate"
+	"github.com/dsl-repro/hydra/internal/resilience"
 )
 
 // newFleet starts n regeneration servers over the fixture summary and
@@ -241,6 +242,12 @@ func TestRemoteRunnerBusyWait(t *testing.T) {
 	}
 	var hits atomic.Int64
 	busyTwice := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			// Background fleet probes are infrastructure traffic, not
+			// job attempts — keep them out of the hit count.
+			real.ServeHTTP(w, r)
+			return
+		}
 		if hits.Add(1) <= 2 {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "at capacity", http.StatusServiceUnavailable)
@@ -274,6 +281,10 @@ func TestRemoteRunnerBusyWait(t *testing.T) {
 	// A permanently saturated fleet still fails once the busy budget is
 	// spent, instead of waiting forever.
 	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
 		w.Header().Set("Retry-After", "0") // floor-clamped to 100ms
 		http.Error(w, "at capacity", http.StatusServiceUnavailable)
 	}))
@@ -332,6 +343,10 @@ func TestRemoteRunnerCancellation(t *testing.T) {
 	var hits atomic.Int64
 	ctx, cancel := context.WithCancel(context.Background())
 	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
 		hits.Add(1)
 		cancel()
 		http.Error(w, "boom", http.StatusInternalServerError)
@@ -391,4 +406,120 @@ func TestShardJobReportFromManifest(t *testing.T) {
 	if rep.Elapsed <= 0 {
 		t.Fatal("elapsed not measured")
 	}
+}
+
+// TestBusyRetryAfterEdgeCases: Retry-After is advisory input from the
+// network; negative, huge, and malformed values must all collapse into
+// the clamped [100ms, 30s] window rather than being trusted.
+func TestBusyRetryAfterEdgeCases(t *testing.T) {
+	mk := func(v string, set bool) *http.Response {
+		h := http.Header{}
+		if set {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		name string
+		hdr  string
+		set  bool
+		want time.Duration
+	}{
+		{"absent", "", false, time.Second},
+		{"empty", "", true, time.Second},
+		{"zero floors", "0", true, 100 * time.Millisecond},
+		{"normal", "3", true, 3 * time.Second},
+		{"negative means default", "-5", true, time.Second},
+		{"huge clamps", "86400", true, 30 * time.Second},
+		{"overflow clamps", "99999999999999999999", true, time.Second},
+		{"malformed word", "soon", true, time.Second},
+		{"http-date form falls back", "Fri, 08 Aug 2026 00:00:00 GMT", true, time.Second},
+		{"fractional falls back", "1.5", true, time.Second},
+	}
+	for _, tc := range cases {
+		if got := busyRetryAfter(mk(tc.hdr, tc.set)); got != tc.want {
+			t.Errorf("%s: busyRetryAfter(%q) = %v, want %v", tc.name, tc.hdr, got, tc.want)
+		}
+	}
+}
+
+// TestRemoteRunnerBreakerReadmission: consecutive real failures open a
+// member's breaker; once the member recovers, a health probe re-admits
+// it and jobs flow again — the half-open cycle end to end, through the
+// runner rather than the breaker's own API.
+func TestRemoteRunnerBreakerReadmission(t *testing.T) {
+	sum := testSummary()
+	real, err := NewServer(sum, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failing atomic.Bool
+	failing.Store(true)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() && r.URL.Path != "/healthz" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		if failing.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	runner, err := NewRemoteRunner([]string{flaky.URL}, RunnerOptions{
+		Attempts: 3,
+		Fleet: resilience.Options{
+			BreakerThreshold: 2,
+			BreakerCooldown:  150 * time.Millisecond,
+			ProbeInterval:    50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	job := orchestrate.ShardJob{Opts: matgen.Options{
+		Dir: t.TempDir(), Format: "csv", Shards: 1,
+	}}
+
+	// Enough failures to trip the threshold-2 breaker.
+	if _, err := runner.Run(context.Background(), sum, job); err == nil {
+		t.Fatal("run against a failing member succeeded")
+	}
+	m := runner.Tracker().Members()[0]
+	deadline := time.Now().Add(2 * time.Second)
+	for m.State() != resilience.MemberOpen && time.Now().Before(deadline) {
+		if _, err := runner.Run(context.Background(), sum, job); err == nil {
+			t.Fatal("run against a failing member succeeded")
+		}
+	}
+	if m.State() != resilience.MemberOpen {
+		t.Fatal("breaker never opened on consecutive failures")
+	}
+
+	// Member recovers; within cooldown + one probe interval the breaker
+	// re-admits it and a job succeeds.
+	failing.Store(false)
+	deadline = time.Now().Add(5 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		job := orchestrate.ShardJob{Opts: matgen.Options{
+			Dir: t.TempDir(), Format: "csv", Shards: 1,
+		}}
+		rep, err := runner.Run(context.Background(), sum, job)
+		if err == nil {
+			if rep.Rows != 9721 {
+				t.Fatalf("recovered run rows = %d", rep.Rows)
+			}
+			if m.State() != resilience.MemberHealthy {
+				t.Fatalf("member state after recovery = %v, want healthy", m.State())
+			}
+			return
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("member was never re-admitted after recovery; last error: %v", lastErr)
 }

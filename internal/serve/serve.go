@@ -41,6 +41,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -53,6 +54,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/dsl-repro/hydra/internal/matgen"
@@ -91,19 +93,36 @@ type Options struct {
 	// packages — matgen, scan, rate — record into, so the default wires
 	// the whole process onto one scrape endpoint).
 	Metrics *obs.Registry
+	// WriteTimeout bounds how long one chunk write (plus its flush) may
+	// block on the connection. A client that stops reading mid-stream
+	// stalls the encode pipeline by design — that is the backpressure —
+	// but a dead one must not hold a stream slot forever; past the
+	// deadline the write fails and the slot frees. 0 disables.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds the graceful drain that hydra.Serve (and the
+	// CLI) run between the stop signal and process exit: in-flight
+	// streams get this long to finish before stragglers are force-
+	// closed. 0 means DefaultDrainTimeout; the Server itself does not
+	// read it — BeginDrain/WaitIdle take the caller's deadline.
+	DrainTimeout time.Duration
 }
+
+// DefaultDrainTimeout bounds graceful drain when Options.DrainTimeout
+// is zero.
+const DefaultDrainTimeout = 30 * time.Second
 
 // Server regenerates one summary's relations over HTTP. It is an
 // http.Handler; wire it into any mux or server.
 type Server struct {
-	sum    *summary.Summary
-	opts   Options
-	digest string
-	mux    *http.ServeMux
-	slots  chan struct{}
-	reg    *obs.Registry
-	m      serverMetrics
-	start  time.Time
+	sum      *summary.Summary
+	opts     Options
+	digest   string
+	mux      *http.ServeMux
+	slots    chan struct{}
+	reg      *obs.Registry
+	m        serverMetrics
+	start    time.Time
+	draining atomic.Bool
 }
 
 // serverMetrics are the server's own instruments, resolved once at
@@ -125,6 +144,11 @@ type serverMetrics struct {
 	// filter= parameter was malformed, named an unknown column, or asked
 	// a page/statement-structured format to carry row gaps.
 	filterRejected *obs.Counter
+	// drainRejected counts streams refused because the server was
+	// draining; drainingG is 1 while drain mode is on — the pair an
+	// operator watches during a rolling restart.
+	drainRejected *obs.Counter
+	drainingG     *obs.Gauge
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -141,6 +165,10 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 			"shard jobs refused because they pinned a different summary digest"),
 		filterRejected: reg.Counter("hydra_serve_filter_rejected_total",
 			"table streams refused because their filter= parameter was unusable"),
+		drainRejected: reg.Counter("hydra_serve_drain_rejected_total",
+			"requests rejected with 503 because the server was draining"),
+		drainingG: reg.Gauge("hydra_serve_draining",
+			"1 while the server is in drain mode, 0 otherwise"),
 	}
 }
 
@@ -237,8 +265,12 @@ type HealthInfo struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	info := HealthInfo{
-		Status:        "ok",
+		Status:        status,
 		Version:       version.String,
 		SummaryDigest: s.digest,
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -254,6 +286,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// BeginDrain puts the server into drain mode: GET /healthz starts
+// reporting status "draining" (so fleet trackers rotate the member out
+// within one probe interval), and new streams and shard jobs are
+// refused with 503 + Retry-After while in-flight ones run to
+// completion. The listener stays open — answering probes during drain
+// is the point; closing the port would read as a crash, not a drain.
+// Idempotent and reversible via EndDrain.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.m.drainingG.Set(1)
+}
+
+// EndDrain cancels drain mode (a rolling restart that aborted).
+func (s *Server) EndDrain() {
+	s.draining.Store(false)
+	s.m.drainingG.Set(0)
+}
+
+// Draining reports whether the server is in drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// WaitIdle blocks until no stream or shard job holds a slot, or ctx
+// ends — the wait between BeginDrain and shutting the listener down.
+// Returns ctx's error when the deadline cut the wait short (the caller
+// then force-closes the stragglers).
+func (s *Server) WaitIdle(ctx context.Context) error {
+	for {
+		if s.m.inFlight.Value() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
 
 // SummaryDigest returns the hex SHA-256 of the summary's canonical
 // serialization — the identity a fleet agrees on. A client embeds it in
@@ -272,6 +342,16 @@ func SummaryDigest(sum *summary.Summary) (string, error) {
 // The in-flight gauge tracks successful acquisitions even on servers
 // with unlimited slots, so /metrics shows load either way.
 func (s *Server) acquire(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		// Draining members refuse new work but tell the client when to
+		// come back — a few seconds, by which point the fleet tracker
+		// will have rotated this member out of the pick order anyway.
+		s.m.drainRejected.Inc()
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "serve: draining, not accepting new streams",
+			http.StatusServiceUnavailable)
+		return false
+	}
 	if s.slots == nil {
 		s.m.inFlight.Inc()
 		return true

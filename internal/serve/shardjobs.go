@@ -134,7 +134,8 @@ func (s *Server) handleShardJob(w http.ResponseWriter, r *http.Request) {
 	h.Set("Content-Type", "application/x-tar")
 	h.Set(HeaderRows, strconv.FormatInt(rep.Rows, 10))
 	h.Set(HeaderDigest, s.digest)
-	tw := tar.NewWriter(&flushWriter{w: w, rc: http.NewResponseController(w)})
+	tw := tar.NewWriter(&flushWriter{w: w, rc: http.NewResponseController(w),
+		writeTimeout: s.opts.WriteTimeout})
 	for _, tr := range rep.Tables {
 		if tr.Path == "" {
 			continue

@@ -104,7 +104,8 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	// backpressure that stalls encoding — and the request context
 	// cancels generation mid-table when the client goes away.
 	sum := sha256.New()
-	fw := &flushWriter{w: w, rc: http.NewResponseController(w), start: t0, ttfc: s.m.ttfcSec}
+	fw := &flushWriter{w: w, rc: http.NewResponseController(w), start: t0, ttfc: s.m.ttfcSec,
+		writeTimeout: s.opts.WriteTimeout}
 	_, err = plan.Run(r.Context(), io.MultiWriter(fw, sum))
 	s.logStream(r, info, fw.wrote, time.Since(t0), err)
 	if err != nil {
@@ -259,11 +260,22 @@ type flushWriter struct {
 	wrote int64
 	start time.Time
 	ttfc  *obs.Histogram
+	// writeTimeout, when set, re-arms the connection's write deadline
+	// before every chunk: a client may read slowly forever (each write
+	// that completes pushes the deadline forward), but one that stops
+	// reading entirely fails the stream after this long instead of
+	// holding a slot until process exit.
+	writeTimeout time.Duration
 }
 
 func (f *flushWriter) Write(p []byte) (int, error) {
 	if f.wrote == 0 && f.ttfc != nil {
 		f.ttfc.ObserveSince(f.start)
+	}
+	if f.writeTimeout > 0 && f.rc != nil {
+		if derr := f.rc.SetWriteDeadline(time.Now().Add(f.writeTimeout)); derr != nil && !errors.Is(derr, http.ErrNotSupported) {
+			return 0, derr
+		}
 	}
 	n, err := f.w.Write(p)
 	f.wrote += int64(n)

@@ -21,6 +21,11 @@
 //	remote://host:port,host:port     serve fleet (http:// assumed)
 //
 // with optional ?fkspread=1 and ?batch=N parameters after the path.
+// remote DSNs additionally accept fleet-resilience parameters:
+// ?attempts=N caps failover attempts per request, ?probe=DUR sets the
+// background health-probe cadence (?probe=off disables probing), and
+// ?breaker=N sets the consecutive-failure threshold that trips a
+// member's circuit breaker (?breaker=off disables breakers).
 package sqldriver
 
 import (
@@ -34,6 +39,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/scan"
@@ -83,6 +89,8 @@ func (c *connector) open(dsn string) error {
 	if !ok {
 		return fmt.Errorf("sqldriver: DSN %q: want summary://path, dir://path, or remote://host,host", dsn)
 	}
+	var remote scan.RemoteOptions
+	fleetParams := false
 	if path, query, ok := strings.Cut(rest, "?"); ok {
 		rest = path
 		q, err := url.ParseQuery(query)
@@ -97,6 +105,40 @@ func (c *connector) open(dsn string) error {
 			}
 			c.batch = n
 		}
+		if v := q.Get("attempts"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("sqldriver: attempts wants a positive count, got %q", v)
+			}
+			remote.Attempts, fleetParams = n, true
+		}
+		if v := q.Get("probe"); v != "" {
+			fleetParams = true
+			if v == "off" {
+				remote.Fleet.ProbeInterval = -1
+			} else {
+				d, err := time.ParseDuration(v)
+				if err != nil || d <= 0 {
+					return fmt.Errorf("sqldriver: probe wants a positive duration or \"off\", got %q", v)
+				}
+				remote.Fleet.ProbeInterval = d
+			}
+		}
+		if v := q.Get("breaker"); v != "" {
+			fleetParams = true
+			if v == "off" {
+				remote.Fleet.BreakerThreshold = -1
+			} else {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return fmt.Errorf("sqldriver: breaker wants a positive failure count or \"off\", got %q", v)
+				}
+				remote.Fleet.BreakerThreshold = n
+			}
+		}
+	}
+	if fleetParams && scheme != "remote" {
+		return fmt.Errorf("sqldriver: fleet parameters (attempts, probe, breaker) only apply to remote:// DSNs")
 	}
 	if rest == "" {
 		return fmt.Errorf("sqldriver: DSN %q names no backend path", dsn)
@@ -125,7 +167,7 @@ func (c *connector) open(dsn string) error {
 			}
 			servers = append(servers, s)
 		}
-		src, err := scan.NewRemoteSource(servers, scan.RemoteOptions{})
+		src, err := scan.NewRemoteSource(servers, remote)
 		if err != nil {
 			return err
 		}

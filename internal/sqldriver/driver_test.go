@@ -255,3 +255,57 @@ func TestDriverErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestDriverFleetParams: remote:// DSNs accept resilience tuning —
+// attempts, probe cadence, breaker threshold — and reject malformed
+// values or fleet params on non-remote backends.
+func TestDriverFleetParams(t *testing.T) {
+	sum := testSummary()
+	srv, err := serve.NewServer(sum, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	host := strings.TrimPrefix(ts.URL, "http://")
+
+	db, err := sql.Open("hydra", "remote://"+host+"?attempts=2&probe=off&breaker=3&batch=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rows, err := db.Query("SELECT C FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if n != 1513 {
+		t.Fatalf("tuned remote DSN returned %d rows, want 1513", n)
+	}
+
+	sumPath := filepath.Join(t.TempDir(), "fixture.summary.json")
+	if err := sum.Save(sumPath); err != nil {
+		t.Fatal(err)
+	}
+	for name, dsn := range map[string]string{
+		"zero attempts":  "remote://" + host + "?attempts=0",
+		"bad probe":      "remote://" + host + "?probe=soon",
+		"negative probe": "remote://" + host + "?probe=-1s",
+		"bad breaker":    "remote://" + host + "?breaker=none",
+		"fleet on local": "summary://" + sumPath + "?attempts=3",
+		"probe on dir":   "dir://" + t.TempDir() + "?probe=off",
+	} {
+		bad, err := sql.Open("hydra", dsn)
+		if err == nil {
+			err = bad.Ping()
+			bad.Close()
+		}
+		if err == nil {
+			t.Errorf("%s: DSN %q accepted, want error", name, dsn)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package hydra
 import (
 	"io"
 
+	"github.com/dsl-repro/hydra/internal/resilience"
 	"github.com/dsl-repro/hydra/internal/scan"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
 )
@@ -51,6 +52,18 @@ type (
 	RemoteSource = scan.RemoteSource
 	// RemoteSourceOptions tunes a RemoteSource.
 	RemoteSourceOptions = scan.RemoteOptions
+	// FleetOptions tunes the resilience substrate every fleet consumer
+	// shares (RemoteSource, the shard Runner, the remote:// sql driver):
+	// background /healthz probing, per-member circuit breakers, jittered
+	// retry backoff, and the shared retry budget. The zero value means
+	// production defaults; see the field docs in internal/resilience.
+	FleetOptions = resilience.Options
+	// FleetTracker is the live fleet view the resilience layer keeps:
+	// per-member health state (healthy / draining / open-breaker) and
+	// EWMAs of observed latency and rows/s.
+	FleetTracker = resilience.Tracker
+	// FleetMember is one tracked fleet member.
+	FleetMember = resilience.Member
 )
 
 // ErrScanSpec marks scan requests the caller got wrong (unknown table or

@@ -37,25 +37,60 @@ func NewServeHandler(s *Summary, opts ServeOptions) (http.Handler, error) {
 }
 
 // Serve runs the regeneration server on addr until ctx is canceled,
-// then drains gracefully. It is the programmatic `hydra serve`.
+// then drains gracefully within ServeOptions.DrainTimeout (default
+// 30s). It is the programmatic `hydra serve`.
+//
+// The drain sequence is fleet-aware: on cancellation the server first
+// enters drain mode — /healthz reports "draining" so trackers rotate
+// the member out, new streams get 503 + Retry-After — while in-flight
+// streams run to completion with the listener still open. Only when
+// the server is idle (or the drain deadline passes) does the listener
+// close; stragglers still running at the deadline are force-closed and
+// Serve returns context.DeadlineExceeded.
 func Serve(ctx context.Context, addr string, s *Summary, opts ServeOptions) error {
-	h, err := NewServeHandler(s, opts)
+	srv, err := serve.NewServer(s, opts)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{
+	// Request contexts must NOT descend from ctx: ctx canceling is the
+	// drain signal, and descending from it would abort every in-flight
+	// stream at the exact moment we promised to let them finish. They
+	// descend from reqCtx instead, which is canceled only when the
+	// drain deadline force-closes stragglers.
+	reqCtx, killReqs := context.WithCancel(context.Background())
+	defer killReqs()
+	hsrv := &http.Server{
 		Addr:    addr,
-		Handler: h,
+		Handler: srv,
 		BaseContext: func(net.Listener) context.Context {
-			return ctx
+			return reqCtx
 		},
+	}
+	timeout := opts.DrainTimeout
+	if timeout <= 0 {
+		timeout = serve.DefaultDrainTimeout
 	}
 	done := make(chan error, 1)
 	stop := context.AfterFunc(ctx, func() {
-		done <- srv.Shutdown(context.Background())
+		srv.BeginDrain()
+		dctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		idleErr := srv.WaitIdle(dctx)
+		err := hsrv.Shutdown(dctx)
+		if idleErr != nil || err != nil {
+			// Deadline passed with streams still running: cancel their
+			// request contexts (unblocking generation) and close their
+			// connections. An operator's drain bound beats a stuck peer.
+			killReqs()
+			hsrv.Close()
+			if err == nil {
+				err = idleErr
+			}
+		}
+		done <- err
 	})
 	defer stop()
-	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	if err := hsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return <-done
