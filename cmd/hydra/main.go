@@ -41,9 +41,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
-	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -55,6 +55,7 @@ import (
 	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/trace"
 )
 
 func main() {
@@ -80,6 +81,8 @@ func main() {
 		err = cmdLoadgen(os.Args[2:])
 	case "faultproxy":
 		err = cmdFaultProxy(os.Args[2:])
+	case "traces":
+		err = cmdTraces(os.Args[2:])
 	case "generate":
 		err = cmdGenerate(os.Args[2:])
 	case "demo":
@@ -119,6 +122,7 @@ usage:
                     [-max-requests N] [-seed S] [-json]
   hydra faultproxy  -upstream http://host:port [-listen 127.0.0.1:0] [-seed S] [-rate 0.3]
                     [-faults refuse,500,503,cut,stall,corrupt] [-flap down/period] [-exempt-health]
+  hydra traces      -addr http://127.0.0.1:8373 [-id traceid] [-n 20]
   hydra generate    -summary summary.json -table T [-n 10] [-from 1]
   hydra demo
 `)
@@ -464,10 +468,12 @@ func cmdServe(args []string) error {
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/metrics", hydra.MetricsHandler())
+		dmux.Handle("/debug/traces", hydra.TraceHandler())
 		dsrv := &http.Server{Addr: *debugAddr, Handler: dmux}
 		defer context.AfterFunc(ctx, func() { dsrv.Close() })()
 		go func() {
-			fmt.Printf("  debug: http://%s/debug/pprof/ and http://%s/metrics\n", *debugAddr, *debugAddr)
+			fmt.Printf("  debug: http://%s/debug/pprof/, http://%s/metrics, http://%s/debug/traces\n",
+				*debugAddr, *debugAddr, *debugAddr)
 			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "hydra: debug listener:", err)
 			}
@@ -708,30 +714,144 @@ func cmdLoadgen(args []string) error {
 			return err
 		}
 	}
-	fmt.Fprintf(human, "loadgen: %s backend, %d workers, %d requests (%d rows) in %.1fs\n",
-		rep.Backend, rep.Concurrency, rep.Requests, rep.Rows, rep.ElapsedSec)
-	fmt.Fprintf(human, "  throughput  %.0f rows/s, %.1f requests/s\n", rep.RowsPerSec, rep.ReqPerSec)
-	fmt.Fprintf(human, "  latency     p50 %s  p95 %s  p99 %s  p99.9 %s  max %s\n",
-		fmtSeconds(rep.Latency.P50), fmtSeconds(rep.Latency.P95),
-		fmtSeconds(rep.Latency.P99), fmtSeconds(rep.Latency.P999), fmtSeconds(rep.Latency.Max))
+	rep.WriteHuman(human)
 	if rep.Errors > 0 {
-		cats := make([]string, 0, len(rep.ErrorsByCategory))
-		for cat := range rep.ErrorsByCategory {
-			cats = append(cats, cat)
-		}
-		sort.Strings(cats)
-		parts := make([]string, 0, len(cats))
-		for _, cat := range cats {
-			parts = append(parts, fmt.Sprintf("%s %d", cat, rep.ErrorsByCategory[cat]))
-		}
-		fmt.Fprintf(os.Stderr, "  errors      %d (%s)\n", rep.Errors, strings.Join(parts, ", "))
-		for _, msg := range rep.ErrorSamples {
-			fmt.Fprintf(os.Stderr, "  error: %s\n", msg)
-		}
 		return fmt.Errorf("loadgen: %d of %d requests failed", rep.Errors, rep.Requests)
 	}
-	fmt.Fprintf(human, "  errors      0\n")
 	return nil
+}
+
+// cmdTraces pulls a fleet member's flight recorder (the -debug-addr
+// listener's GET /debug/traces) and renders it: a table of the retained
+// traces, or one trace's span tree as a text waterfall with -id. The
+// trace id comes from a stream's X-Hydra-Trace-Id response header, a
+// -log-streams slog record, or a loadgen report's slow_traces entries.
+func cmdTraces(args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8373", "base URL of a member's -debug-addr listener")
+	id := fs.String("id", "", "render one trace's waterfall instead of the list")
+	n := fs.Int("n", 20, "max traces to list")
+	timeout := fs.Duration("timeout", 10*time.Second, "fetch timeout")
+	fs.Parse(args)
+	ctx, cancel := timeoutContext(*timeout)
+	defer cancel()
+	base := strings.TrimSuffix(*addr, "/")
+	if *id != "" {
+		var tr trace.Trace
+		if err := fetchJSON(ctx, base+"/debug/traces?id="+url.QueryEscape(*id), &tr); err != nil {
+			return err
+		}
+		printWaterfall(&tr)
+		return nil
+	}
+	var list struct {
+		Traces []trace.Summary `json:"traces"`
+	}
+	if err := fetchJSON(ctx, fmt.Sprintf("%s/debug/traces?n=%d", base, *n), &list); err != nil {
+		return err
+	}
+	if len(list.Traces) == 0 {
+		fmt.Println("traces: flight recorder is empty")
+		return nil
+	}
+	fmt.Printf("%-32s  %-18s  %-12s  %5s  %-7s  %s\n",
+		"TRACE", "ROOT", "DURATION", "SPANS", "KEEP", "ERROR")
+	for _, s := range list.Traces {
+		fmt.Printf("%-32s  %-18s  %-12s  %5d  %-7s  %s\n",
+			s.TraceID, s.Root, fmtSeconds(s.DurationSec), s.SpansTotal, s.Keep, s.Err)
+	}
+	return nil
+}
+
+func fetchJSON(ctx context.Context, u string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("traces: %s answered %s: %s", u, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// traceBarWidth is the waterfall bar's character budget per span line.
+const traceBarWidth = 32
+
+// printWaterfall renders one trace's span tree: indentation is depth,
+// the bar is the span's window within the trace, events print beneath
+// their span at their offsets.
+func printWaterfall(tr *trace.Trace) {
+	fmt.Printf("trace %s  %s  (%s, %d spans", tr.TraceID, tr.Root, fmtSeconds(tr.DurationSec), tr.SpansTotal)
+	if tr.Keep != "" {
+		fmt.Printf(", keep=%s", tr.Keep)
+	}
+	if tr.Err != "" {
+		fmt.Printf(", error=%q", tr.Err)
+	}
+	fmt.Println(")")
+	if tr.Tree != nil {
+		printSpan(tr.Tree, 0, int64(tr.DurationSec*1e6))
+	}
+}
+
+func printSpan(rec *trace.SpanRecord, depth int, totalUS int64) {
+	indent := strings.Repeat("  ", depth)
+	line := fmt.Sprintf("[%s] %s%s  +%s %s",
+		spanBar(rec.StartOffsetUS, rec.DurationUS, totalUS),
+		indent, rec.Name, usDur(rec.StartOffsetUS), usDur(rec.DurationUS))
+	for _, a := range rec.Attrs {
+		line += fmt.Sprintf("  %s=%s", a.Key, a.Value)
+	}
+	if rec.Err != "" {
+		line += "  ERROR " + rec.Err
+	}
+	fmt.Println(line)
+	pad := strings.Repeat(" ", traceBarWidth)
+	for _, ev := range rec.Events {
+		evline := fmt.Sprintf("[%s] %s  · %s +%s", pad, indent, ev.Name, usDur(ev.OffsetUS))
+		for _, a := range ev.Attrs {
+			evline += fmt.Sprintf("  %s=%s", a.Key, a.Value)
+		}
+		fmt.Println(evline)
+	}
+	for _, c := range rec.Children {
+		printSpan(c, depth+1, totalUS)
+	}
+}
+
+// spanBar marks the span's [start, start+dur) window on a fixed-width
+// timeline of the whole trace.
+func spanBar(startUS, durUS, totalUS int64) string {
+	if totalUS <= 0 {
+		totalUS = 1
+	}
+	b := []byte(strings.Repeat(" ", traceBarWidth))
+	lo := int(startUS * traceBarWidth / totalUS)
+	hi := int((startUS + durUS) * traceBarWidth / totalUS)
+	if lo >= traceBarWidth {
+		lo = traceBarWidth - 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > traceBarWidth {
+		hi = traceBarWidth
+	}
+	for i := lo; i < hi; i++ {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+// usDur renders a microsecond offset/duration with units.
+func usDur(us int64) string {
+	return (time.Duration(us) * time.Microsecond).String()
 }
 
 // fmtSeconds renders a latency sample with duration units.

@@ -26,6 +26,7 @@ import (
 
 	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/scan"
+	"github.com/dsl-repro/hydra/internal/trace"
 )
 
 // Options tunes one load run.
@@ -101,6 +102,20 @@ type Report struct {
 	// (refused / truncated / busy / timeout / spec / other), so a chaos
 	// run reports what was absorbed, not just a count.
 	ErrorsByCategory map[string]int64 `json:"errors_by_category,omitempty"`
+	// SlowTraces links the run's worst requests to their span trees:
+	// the p99.9-rank and slowest samples' trace ids, resolvable against
+	// the flight recorder (`hydra traces`, GET /debug/traces) — a bench
+	// regression or CI failure points straight at a waterfall.
+	SlowTraces []TraceRef `json:"slow_traces,omitempty"`
+}
+
+// TraceRef names one request's trace: enough to fetch its span tree.
+type TraceRef struct {
+	// Rank is which latency statistic this request was: "max" or "p999".
+	Rank    string  `json:"rank"`
+	TraceID string  `json:"trace_id"`
+	Seconds float64 `json:"seconds"`
+	Table   string  `json:"table"`
 }
 
 // Categorize maps one request failure onto the report's coarse error
@@ -198,7 +213,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		requests int64
 		errCount int64
 		rows     int64
-		samples  []float64
+		samples  []sample
 		errMsgs  []string
 		errCats  map[string]int64
 	)
@@ -209,7 +224,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		go func(k int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(k)*1_000_003))
-			var localSamples []float64
+			var localSamples []sample
 			var localReqs, localErrs, localRows int64
 			var localMsgs []string
 			localCats := make(map[string]int64)
@@ -220,12 +235,19 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 				if endPK > wl.rows {
 					endPK = wl.rows
 				}
+				// Each request is a root trace: the backend's scan span
+				// (and, remotely, per-attempt spans) nests inside, and
+				// the id links a latency sample to its span tree.
+				rctx, sp := trace.Start(runCtx, "loadgen.request",
+					trace.Str("table", wl.table))
 				t0 := time.Now()
-				n, err := oneScan(runCtx, opts.Source, scan.Spec{
+				n, err := oneScan(rctx, opts.Source, scan.Spec{
 					Table: wl.table, StartPK: startPK, EndPK: endPK,
 					BatchRows: opts.BatchRows,
 				})
 				d := time.Since(t0)
+				sp.Fail(err)
+				sp.End()
 				localRows += n
 				// A request the deadline interrupted is neither a whole
 				// sample nor a backend failure; drop it.
@@ -233,7 +255,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 					break
 				}
 				localReqs++
-				localSamples = append(localSamples, d.Seconds())
+				localSamples = append(localSamples, sample{
+					sec: d.Seconds(), traceID: sp.TraceID(), table: wl.table})
 				if err != nil {
 					localErrs++
 					localCats[Categorize(err)]++
@@ -264,6 +287,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	lat, slow := summarize(samples)
 	rep := &Report{
 		Concurrency: conc,
 		Requests:    requests,
@@ -272,7 +296,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		ElapsedSec:  elapsed.Seconds(),
 		RowsPerSec:  obs.PerSec(rows, elapsed),
 		ReqPerSec:   obs.PerSec(requests, elapsed),
-		Latency:     summarize(samples),
+		Latency:     lat,
+		SlowTraces:  slow,
 	}
 	sort.Strings(errMsgs)
 	rep.ErrorSamples = errMsgs
@@ -351,16 +376,24 @@ func (b *requestBudget) take() bool {
 }
 
 // summarize computes the nearest-rank percentiles over raw samples.
-func summarize(samples []float64) Latency {
+// sample is one completed request: its latency plus the trace that can
+// explain it.
+type sample struct {
+	sec     float64
+	traceID string
+	table   string
+}
+
+func summarize(samples []sample) (Latency, []TraceRef) {
 	if len(samples) == 0 {
-		return Latency{}
+		return Latency{}, nil
 	}
-	sort.Float64s(samples)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].sec < samples[j].sec })
 	var total float64
 	for _, s := range samples {
-		total += s
+		total += s.sec
 	}
-	rank := func(q float64) float64 {
+	rankIdx := func(q float64) int {
 		i := int(q*float64(len(samples))+0.5) - 1
 		if i < 0 {
 			i = 0
@@ -368,14 +401,64 @@ func summarize(samples []float64) Latency {
 		if i >= len(samples) {
 			i = len(samples) - 1
 		}
-		return samples[i]
+		return i
 	}
-	return Latency{
+	rank := func(q float64) float64 { return samples[rankIdx(q)].sec }
+	lat := Latency{
 		P50:  rank(0.50),
 		P95:  rank(0.95),
 		P99:  rank(0.99),
 		P999: rank(0.999),
-		Max:  samples[len(samples)-1],
+		Max:  samples[len(samples)-1].sec,
 		Mean: total / float64(len(samples)),
 	}
+	// The tail's names: the slowest request and the p99.9-rank one
+	// (when distinct), so the report links straight into the flight
+	// recorder. The slowest-N keep rule makes the max trace near-certain
+	// to still be retained.
+	maxS := samples[len(samples)-1]
+	slow := []TraceRef{{Rank: "max", TraceID: maxS.traceID, Seconds: maxS.sec, Table: maxS.table}}
+	if p := samples[rankIdx(0.999)]; p.traceID != maxS.traceID {
+		slow = append(slow, TraceRef{Rank: "p999", TraceID: p.traceID, Seconds: p.sec, Table: p.table})
+	}
+	return lat, slow
+}
+
+// WriteHuman renders the report the way `hydra loadgen` prints it:
+// totals, throughput, exact percentiles, per-category error counts
+// alongside the total, sampled error messages, and the slow-trace
+// handles into the flight recorder.
+func (r *Report) WriteHuman(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %s backend, %d workers, %d requests (%d rows) in %.1fs\n",
+		r.Backend, r.Concurrency, r.Requests, r.Rows, r.ElapsedSec)
+	fmt.Fprintf(w, "  throughput  %.0f rows/s, %.1f requests/s\n", r.RowsPerSec, r.ReqPerSec)
+	fmt.Fprintf(w, "  latency     p50 %s  p95 %s  p99 %s  p99.9 %s  max %s\n",
+		fmtSeconds(r.Latency.P50), fmtSeconds(r.Latency.P95),
+		fmtSeconds(r.Latency.P99), fmtSeconds(r.Latency.P999), fmtSeconds(r.Latency.Max))
+	if r.Errors > 0 {
+		cats := make([]string, 0, len(r.ErrorsByCategory))
+		for cat := range r.ErrorsByCategory {
+			cats = append(cats, cat)
+		}
+		sort.Strings(cats)
+		parts := make([]string, 0, len(cats))
+		for _, cat := range cats {
+			parts = append(parts, fmt.Sprintf("%s %d", cat, r.ErrorsByCategory[cat]))
+		}
+		fmt.Fprintf(w, "  errors      %d (%s)\n", r.Errors, strings.Join(parts, ", "))
+		for _, msg := range r.ErrorSamples {
+			fmt.Fprintf(w, "  error: %s\n", msg)
+		}
+	} else {
+		fmt.Fprintf(w, "  errors      0\n")
+	}
+	for _, ref := range r.SlowTraces {
+		fmt.Fprintf(w, "  trace       %-5s %s  %s  %s\n",
+			ref.Rank, fmtSeconds(ref.Seconds), ref.Table, ref.TraceID)
+	}
+}
+
+// fmtSeconds renders a latency statistic with duration units.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
 }

@@ -104,19 +104,48 @@ func TestRunHonorsCancellation(t *testing.T) {
 }
 
 func TestSummarizePercentiles(t *testing.T) {
-	var samples []float64
+	var samples []sample
 	for i := 1; i <= 1000; i++ {
-		samples = append(samples, float64(i))
+		samples = append(samples, sample{sec: float64(i), traceID: fmt.Sprintf("t%04d", i), table: "orders"})
 	}
-	l := summarize(samples)
+	l, slow := summarize(samples)
 	if l.P50 != 500 || l.P95 != 950 || l.P99 != 990 || l.P999 != 999 || l.Max != 1000 {
 		t.Fatalf("percentiles %+v", l)
 	}
 	if l.Mean != 500.5 {
 		t.Fatalf("mean %v", l.Mean)
 	}
-	if got := summarize(nil); got != (Latency{}) {
-		t.Fatalf("empty summarize %+v", got)
+	// The tail's handles: the slowest request and the distinct p999 one.
+	if len(slow) != 2 || slow[0].Rank != "max" || slow[0].TraceID != "t1000" ||
+		slow[1].Rank != "p999" || slow[1].TraceID != "t0999" {
+		t.Fatalf("slow traces %+v", slow)
+	}
+	if got, slow := summarize(nil); got != (Latency{}) || slow != nil {
+		t.Fatalf("empty summarize %+v %+v", got, slow)
+	}
+}
+
+func TestWriteHumanReport(t *testing.T) {
+	rep := &Report{
+		Backend: "remote", Concurrency: 4, Requests: 100, Rows: 5000,
+		ElapsedSec: 2.0, RowsPerSec: 2500, ReqPerSec: 50,
+		Errors:           3,
+		ErrorsByCategory: map[string]int64{"busy": 2, "truncated": 1},
+		ErrorSamples:     []string{"x: unexpected EOF"},
+		SlowTraces: []TraceRef{
+			{Rank: "max", TraceID: "deadbeef", Seconds: 0.5, Table: "orders"},
+		},
+	}
+	var buf strings.Builder
+	rep.WriteHuman(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"remote backend", "errors      3 (busy 2, truncated 1)",
+		"error: x: unexpected EOF", "trace       max", "deadbeef",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("human report missing %q:\n%s", want, out)
+		}
 	}
 }
 

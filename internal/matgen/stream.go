@@ -112,6 +112,14 @@ type StreamReport struct {
 	// the encoded size before compression. Zero in StreamInfo results.
 	Bytes    int64 `json:"bytes,omitempty"`
 	RawBytes int64 `json:"raw_bytes,omitempty"`
+	// Stage timings for this stream, filled by Run: wall seconds spent
+	// encoding chunks, compressing frames, and writing bytes to the
+	// destination. The same instants feed the process-wide
+	// hydra_matgen_{encode,compress}_seconds_total counters; these are
+	// the per-stream share, the numbers a stream's trace span reports.
+	EncodeSeconds   float64 `json:"encode_s,omitempty"`
+	CompressSeconds float64 `json:"compress_s,omitempty"`
+	WriteSeconds    float64 `json:"write_s,omitempty"`
 }
 
 // streamPlan is a resolved, validated stream request.
@@ -303,7 +311,7 @@ func (sp *StreamPlan) Run(ctx context.Context, w io.Writer) (*StreamReport, erro
 			return rep, err
 		}
 		rep.RawBytes += int64(len(hdr))
-		if err := writeFramed(cw, p.comp, hdr); err != nil {
+		if err := rep.writeFramed(cw, p.comp, hdr); err != nil {
 			return rep, err
 		}
 	}
@@ -332,11 +340,13 @@ func (sp *StreamPlan) Run(ctx context.Context, w io.Writer) (*StreamReport, erro
 			} else {
 				*buf = encodeChunk(t, enc, se, b, (*buf)[:0], lo, hi)
 			}
-			mEncodeSeconds.AddDuration(time.Since(t0))
+			enc0 := time.Since(t0)
+			mEncodeSeconds.AddDuration(enc0)
+			rep.EncodeSeconds += enc0.Seconds()
 			t.m.rows.Add(hi - lo)
 			t.m.chunks.Inc()
 			rep.RawBytes += int64(len(*buf))
-			if err := writeFramed(cw, p.comp, *buf); err != nil {
+			if err := rep.writeFramed(cw, p.comp, *buf); err != nil {
 				return rep, err
 			}
 			lo = hi
@@ -348,10 +358,19 @@ func (sp *StreamPlan) Run(ctx context.Context, w io.Writer) (*StreamReport, erro
 			return rep, err
 		}
 		rep.RawBytes += int64(len(ftr))
-		if err := writeFramed(cw, p.comp, ftr); err != nil {
+		if err := rep.writeFramed(cw, p.comp, ftr); err != nil {
 			return rep, err
 		}
 	}
 	rep.Bytes = cw.n
 	return rep, nil
+}
+
+// writeFramed frames one buffer onto the stream, folding the stage
+// durations into the report's per-stream totals.
+func (rep *StreamReport) writeFramed(w io.Writer, comp Compressor, p []byte) error {
+	c, wr, err := writeFramedTimed(w, comp, p)
+	rep.CompressSeconds += c.Seconds()
+	rep.WriteSeconds += wr.Seconds()
+	return err
 }

@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition checks a Prometheus text-format (v0.0.4) payload for
+// conformance and returns every violation found. It exists so a test
+// can scrape the full registry after a real workload and prove the
+// exposition stays ingestible as metrics are added: legal metric and
+// label names, HELP and TYPE present before each family's samples,
+// known TYPE values, parseable sample values, no duplicate series, and
+// well-formed histograms (ascending le, cumulative counts, a terminal
+// +Inf bucket that _count equals, a _sum line).
+func LintExposition(text []byte) []error {
+	l := &linter{
+		fams:  map[string]*lintFamily{},
+		seen:  map[string]int{},
+		hists: map[string]*lintHist{},
+	}
+	for i, line := range strings.Split(string(text), "\n") {
+		l.line(i+1, line)
+	}
+	l.finish()
+	return l.errs
+}
+
+var (
+	lintMetricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	lintLabelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// lintFamily tracks one family's comment lines.
+type lintFamily struct {
+	help, typed bool
+	kind        string
+}
+
+// lintHist accumulates one histogram series (family + base label set)
+// across its _bucket/_sum/_count lines for the end-of-text checks.
+type lintHist struct {
+	firstLine  int
+	lastLe     float64
+	lastCum    float64
+	sawInf     bool
+	buckets    int
+	sum        bool
+	count      bool
+	countValue float64
+}
+
+type linter struct {
+	errs  []error
+	fams  map[string]*lintFamily
+	seen  map[string]int
+	hists map[string]*lintHist
+}
+
+func (l *linter) errorf(n int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", n, fmt.Sprintf(format, args...)))
+}
+
+func (l *linter) line(n int, line string) {
+	switch {
+	case line == "":
+	case strings.HasPrefix(line, "# HELP "):
+		l.comment(n, strings.TrimPrefix(line, "# HELP "), "HELP")
+	case strings.HasPrefix(line, "# TYPE "):
+		l.comment(n, strings.TrimPrefix(line, "# TYPE "), "TYPE")
+	case strings.HasPrefix(line, "#"):
+		// Free-form comments are legal and carry no structure.
+	default:
+		l.sample(n, line)
+	}
+}
+
+func (l *linter) comment(n int, rest, kind string) {
+	name, arg, _ := strings.Cut(rest, " ")
+	if !lintMetricNameRe.MatchString(name) {
+		l.errorf(n, "%s names illegal metric %q", kind, name)
+		return
+	}
+	f := l.fams[name]
+	if f == nil {
+		f = &lintFamily{}
+		l.fams[name] = f
+	}
+	if kind == "HELP" {
+		if f.help {
+			l.errorf(n, "duplicate HELP for %s", name)
+		}
+		f.help = true
+		return
+	}
+	if f.typed {
+		l.errorf(n, "duplicate TYPE for %s", name)
+	}
+	switch arg {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		f.typed, f.kind = true, arg
+	default:
+		l.errorf(n, "TYPE %s declares unknown type %q", name, arg)
+	}
+}
+
+func (l *linter) sample(n int, line string) {
+	name, labels, rest, ok := splitSample(line)
+	if !ok {
+		l.errorf(n, "unparseable sample %q", line)
+		return
+	}
+	if !lintMetricNameRe.MatchString(name) {
+		l.errorf(n, "illegal metric name %q", name)
+		return
+	}
+	pairs, ok := parseLabels(labels)
+	if !ok {
+		l.errorf(n, "unparseable label set %q", labels)
+		return
+	}
+	lnames := map[string]bool{}
+	for _, p := range pairs {
+		switch {
+		case !lintLabelNameRe.MatchString(p[0]) || strings.HasPrefix(p[0], "__"):
+			l.errorf(n, "illegal label name %q", p[0])
+		case lnames[p[0]]:
+			l.errorf(n, "label %q repeats in one series", p[0])
+		}
+		lnames[p[0]] = true
+	}
+	value, tsOK := splitValue(rest)
+	if !tsOK {
+		l.errorf(n, "bad timestamp in %q", line)
+	}
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		l.errorf(n, "value %q does not parse as a float", value)
+		return
+	}
+
+	key := name + seriesKey(pairs, "")
+	if prev := l.seen[key]; prev != 0 {
+		l.errorf(n, "duplicate series %s (first at line %d)", key, prev)
+	}
+	l.seen[key] = n
+
+	fam, base := l.familyOf(name)
+	if fam == nil {
+		l.errorf(n, "sample %s has no preceding TYPE", name)
+		return
+	}
+	if !fam.help {
+		l.errorf(n, "sample %s has no preceding HELP", base)
+	}
+	if fam.kind != "histogram" || base == name {
+		return
+	}
+	h := l.histFor(base, pairs, n)
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le, ok := leOf(pairs)
+		if !ok {
+			l.errorf(n, "%s bucket without a le label", base)
+			return
+		}
+		bound, inf, err := parseLe(le)
+		if err != nil {
+			l.errorf(n, "%s le=%q does not parse", base, le)
+			return
+		}
+		if h.sawInf {
+			l.errorf(n, "%s bucket after the +Inf bucket", base)
+		}
+		if h.buckets > 0 && bound <= h.lastLe {
+			l.errorf(n, "%s buckets not in ascending le order (%v after %v)", base, bound, h.lastLe)
+		}
+		if v < h.lastCum {
+			l.errorf(n, "%s bucket counts not cumulative (%v after %v)", base, v, h.lastCum)
+		}
+		h.buckets++
+		h.lastLe, h.lastCum, h.sawInf = bound, v, inf
+	case strings.HasSuffix(name, "_sum"):
+		h.sum = true
+	case strings.HasSuffix(name, "_count"):
+		h.count, h.countValue = true, v
+	}
+}
+
+// finish runs the whole-series histogram checks once every line has
+// been attributed.
+func (l *linter) finish() {
+	keys := make([]string, 0, len(l.hists))
+	for k := range l.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := l.hists[k]
+		switch {
+		case h.buckets == 0:
+			l.errorf(h.firstLine, "histogram series %s has no buckets", k)
+		case !h.sawInf:
+			l.errorf(h.firstLine, "histogram series %s lacks a terminal +Inf bucket", k)
+		case h.count && h.countValue != h.lastCum:
+			l.errorf(h.firstLine, "histogram series %s _count %v != +Inf bucket %v", k, h.countValue, h.lastCum)
+		}
+		if !h.sum {
+			l.errorf(h.firstLine, "histogram series %s lacks a _sum line", k)
+		}
+		if !h.count {
+			l.errorf(h.firstLine, "histogram series %s lacks a _count line", k)
+		}
+	}
+}
+
+// familyOf resolves a sample name to its family: the name itself when
+// TYPE declared it directly, else the histogram base when the name is
+// one of the three histogram suffixes of a declared histogram.
+func (l *linter) familyOf(name string) (*lintFamily, string) {
+	if f := l.fams[name]; f != nil && f.typed {
+		return f, name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if f := l.fams[base]; f != nil && f.typed && f.kind == "histogram" {
+			return f, base
+		}
+	}
+	return nil, name
+}
+
+// histFor keys a histogram series by family plus its label set minus
+// le, so buckets, _sum and _count land on the same accumulator.
+func (l *linter) histFor(base string, pairs [][2]string, n int) *lintHist {
+	key := base + seriesKey(pairs, "le")
+	h := l.hists[key]
+	if h == nil {
+		h = &lintHist{firstLine: n}
+		l.hists[key] = h
+	}
+	return h
+}
+
+// seriesKey renders a label set in sorted order, dropping one label
+// name, so a series' identity ignores label ordering.
+func seriesKey(pairs [][2]string, drop string) string {
+	kept := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		if p[0] != drop {
+			kept = append(kept, p[0]+"="+strconv.Quote(p[1]))
+		}
+	}
+	sort.Strings(kept)
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+func leOf(pairs [][2]string) (string, bool) {
+	for _, p := range pairs {
+		if p[0] == "le" {
+			return p[1], true
+		}
+	}
+	return "", false
+}
+
+func parseLe(s string) (bound float64, inf bool, err error) {
+	if s == "+Inf" {
+		return math.Inf(1), true, nil
+	}
+	bound, err = strconv.ParseFloat(s, 64)
+	return bound, false, err
+}
+
+// splitSample cuts one sample line into name, raw label block (without
+// braces, "" when absent), and the value-and-timestamp remainder.
+func splitSample(line string) (name, labels, rest string, ok bool) {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		end := closingBrace(line, brace)
+		if end < 0 || end+1 >= len(line) || line[end+1] != ' ' {
+			return "", "", "", false
+		}
+		return line[:brace], line[brace+1 : end], line[end+2:], true
+	}
+	if space <= 0 {
+		return "", "", "", false
+	}
+	return line[:space], "", line[space+1:], true
+}
+
+// closingBrace finds the label block's closing brace, skipping quoted
+// values (which may contain escaped quotes and braces).
+func closingBrace(line string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		switch {
+		case inQuote && line[i] == '\\':
+			i++
+		case line[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && line[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// parseLabels splits a raw label block into name/value pairs, decoding
+// the \\, \" and \n escapes the format defines.
+func parseLabels(raw string) ([][2]string, bool) {
+	if raw == "" {
+		return nil, true
+	}
+	var pairs [][2]string
+	for i := 0; i < len(raw); {
+		eq := strings.IndexByte(raw[i:], '=')
+		if eq < 0 {
+			return nil, false
+		}
+		name := raw[i : i+eq]
+		i += eq + 1
+		if i >= len(raw) || raw[i] != '"' {
+			return nil, false
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(raw) {
+			c := raw[i]
+			if c == '\\' && i+1 < len(raw) {
+				switch raw[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, false
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, false
+		}
+		pairs = append(pairs, [2]string{name, val.String()})
+		if i < len(raw) {
+			if raw[i] != ',' {
+				return nil, false
+			}
+			i++
+		}
+	}
+	return pairs, true
+}
+
+// splitValue separates a sample's value from an optional integer
+// timestamp; ok reports the timestamp (when present) is well-formed.
+func splitValue(rest string) (value string, ok bool) {
+	value, ts, found := strings.Cut(rest, " ")
+	if !found {
+		return value, true
+	}
+	_, err := strconv.ParseInt(ts, 10, 64)
+	return value, err == nil
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// good is a well-formed exposition covering every shape the linter
+// handles: bare and labelled samples, escapes, a histogram, and a
+// counter whose name ends in _count (not a histogram suffix here).
+const good = `# HELP up whether the scrape target answered
+# TYPE up gauge
+up 1
+# HELP rpc_total calls, by method
+# TYPE rpc_total counter
+rpc_total{method="get",path="a\\b\"c\nd"} 7
+rpc_total{method="put"} 0
+# HELP lat_seconds request latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{route="t",le="0.1"} 3
+lat_seconds_bucket{route="t",le="1"} 5
+lat_seconds_bucket{route="t",le="+Inf"} 6
+lat_seconds_sum{route="t"} 2.5
+lat_seconds_count{route="t"} 6
+# HELP worker_count workers running
+# TYPE worker_count gauge
+worker_count 4
+`
+
+func TestLintExpositionAcceptsConformantText(t *testing.T) {
+	if errs := LintExposition([]byte(good)); len(errs) != 0 {
+		t.Fatalf("conformant exposition flagged: %v", errs)
+	}
+}
+
+func TestLintExpositionFlagsViolations(t *testing.T) {
+	cases := map[string]struct {
+		text string
+		want string // substring of some reported error
+	}{
+		"bad metric name": {
+			"# HELP 0bad x\n# TYPE 0bad counter\n0bad 1\n",
+			"illegal metric",
+		},
+		"bad label name": {
+			"# HELP a x\n# TYPE a counter\na{0bad=\"v\"} 1\n",
+			"illegal label name",
+		},
+		"reserved label name": {
+			"# HELP a x\n# TYPE a counter\na{__v=\"v\"} 1\n",
+			"illegal label name",
+		},
+		"missing TYPE": {
+			"# HELP a x\na 1\n",
+			"no preceding TYPE",
+		},
+		"missing HELP": {
+			"# TYPE a counter\na 1\n",
+			"no preceding HELP",
+		},
+		"unknown TYPE": {
+			"# TYPE a chart\na 1\n",
+			"unknown type",
+		},
+		"bad value": {
+			"# HELP a x\n# TYPE a counter\na one\n",
+			"does not parse as a float",
+		},
+		"duplicate series": {
+			"# HELP a x\n# TYPE a counter\na{k=\"v\"} 1\na{k=\"v\"} 2\n",
+			"duplicate series",
+		},
+		"duplicate series reordered labels": {
+			"# HELP a x\n# TYPE a counter\na{k=\"v\",j=\"w\"} 1\na{j=\"w\",k=\"v\"} 2\n",
+			"duplicate series",
+		},
+		"non-cumulative buckets": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"not cumulative",
+		},
+		"descending le": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"ascending le",
+		},
+		"no +Inf bucket": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"terminal +Inf",
+		},
+		"count disagrees with +Inf": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+			"_count 5 != +Inf bucket 4",
+		},
+		"missing sum": {
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_count 4\n",
+			"lacks a _sum",
+		},
+		"unterminated labels": {
+			"# HELP a x\n# TYPE a counter\na{k=\"v\" 1\n",
+			"unparseable",
+		},
+	}
+	for name, tc := range cases {
+		errs := LintExposition([]byte(tc.text))
+		found := false
+		for _, err := range errs {
+			if strings.Contains(err.Error(), tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no error containing %q in %v", name, tc.want, errs)
+		}
+	}
+}
+
+// TestLintOwnRegistry: the registry's own writer must produce text the
+// linter accepts, including a populated multi-bucket histogram.
+func TestLintOwnRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lint_ops_total", "ops", L("kind", "a")).Add(3)
+	r.Gauge("lint_depth", "queue depth").Set(9)
+	h := r.Histogram("lint_wait_seconds", "waits", DurationBuckets)
+	for _, d := range []time.Duration{time.Millisecond, time.Second, time.Minute} {
+		h.Observe(d.Seconds())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if errs := LintExposition([]byte(b.String())); len(errs) != 0 {
+		t.Fatalf("registry's own exposition flagged: %v\n%s", errs, b.String())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/resilience"
 	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/trace"
 )
 
 // Job-level observability: attempts vs retries (and why the retries
@@ -305,6 +306,12 @@ func runShard(ctx context.Context, runner Runner, sum *summary.Summary, job Shar
 		sr.Attempts, sr.Err = 0, err
 		return sr
 	}
+	// One span per shard: attempts by the runner (and, remotely, by the
+	// server) nest under it, so a whole materialization reads as one
+	// tree — orchestrate.shard → runner.shardjob → runner.attempt.
+	ctx, sp := trace.Start(ctx, "orchestrate.shard",
+		trace.Int("shard", int64(job.Shard+1)),
+		trace.Int("shards", int64(job.Opts.Shards)))
 	t0 := time.Now()
 	defer func() {
 		mShardSeconds.ObserveSince(t0)
@@ -313,13 +320,18 @@ func runShard(ctx context.Context, runner Runner, sum *summary.Summary, job Shar
 		} else {
 			mShardsFailed.Inc()
 		}
+		sp.Fail(sr.Err)
+		sp.End()
 	}()
 	pol := resilience.Policy{Base: backoff, Max: 8 * backoff}
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			mShardRetriesErr.Inc()
 			if backoff > 0 {
-				if resilience.Sleep(ctx, pol.Delay(attempt)) != nil {
+				d := pol.Delay(attempt)
+				sp.Event("retry-backoff", trace.Dur("wait", d),
+					trace.Int("retry", int64(attempt)))
+				if resilience.Sleep(ctx, d) != nil {
 					return sr // keep the last attempt's error, not ctx's
 				}
 			}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/dsl-repro/hydra/internal/obs"
+	"github.com/dsl-repro/hydra/internal/trace"
 )
 
 // Policy is one request's retry discipline: capped exponential backoff
@@ -116,6 +117,7 @@ func (a *Attempt) Next(ctx context.Context, floor time.Duration) bool {
 		if a.p.m != nil {
 			a.p.m.exhausted.Inc()
 		}
+		trace.FromContext(ctx).Event("retry-budget-exhausted")
 		return false
 	}
 	a.retries++
@@ -126,6 +128,10 @@ func (a *Attempt) Next(ctx context.Context, floor time.Duration) bool {
 	if d < floor {
 		d = floor
 	}
+	// Every retrying fleet consumer funnels through here, so one event
+	// site puts backoff waits on whatever span the caller is under.
+	trace.FromContext(ctx).Event("retry-backoff",
+		trace.Dur("wait", d), trace.Int("retry", int64(a.retries)))
 	return Sleep(ctx, d) == nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"github.com/dsl-repro/hydra/internal/matgen"
 	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/resilience"
+	"github.com/dsl-repro/hydra/internal/trace"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
 )
 
@@ -124,6 +125,7 @@ const headerFilter = "X-Hydra-Filter"
 func (s *RemoteSource) getJSON(ctx context.Context, path string, v any) (string, error) {
 	var lastErr error
 	a := s.policy.Begin()
+	sp := trace.FromContext(ctx)
 	for i := 0; ; i++ {
 		if i > 0 {
 			if i >= s.opts.Attempts || !a.Next(ctx, 0) {
@@ -136,51 +138,68 @@ func (s *RemoteSource) getJSON(ctx context.Context, path string, v any) (string,
 			// jittered backoff before the next one gives a cooldown a
 			// chance to admit a half-open probe.
 			lastErr = resilience.ErrNoMembers
+			sp.Event("no-member", trace.Str("path", path))
 			continue
 		}
-		srv := m.URL
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv+path, nil)
-		if err != nil {
-			return "", err
+		digest, err := s.getJSONOn(ctx, m, path, v)
+		if err == nil {
+			return digest, nil
 		}
-		t0 := time.Now()
-		resp, err := s.opts.Client.Do(req)
-		if err != nil {
-			lastErr = fmt.Errorf("%s: %w", srv, err)
-			if ctx.Err() != nil {
-				return "", lastErr
-			}
+		// Client mistakes (bad table, bad spec) are the same on every
+		// server; failing over would just repeat them.
+		if errors.Is(err, ErrSpec) || ctx.Err() != nil {
+			return "", fmt.Errorf("%s: %w", m.URL, err)
+		}
+		lastErr = fmt.Errorf("%s: %w", m.URL, err)
+		sp.Event("failover", trace.Str("member", m.URL), trace.Str("error", err.Error()))
+		// 503 is capacity (or drain) signaling from a healthy member,
+		// not a failure; everything else counts against its breaker.
+		var busy *busyError
+		if !errors.As(err, &busy) {
 			m.ReportFailure()
-			continue
 		}
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
-			resp.Body.Close()
-			err := fmt.Errorf("%s answered %s: %s", srv, resp.Status, strings.TrimSpace(string(msg)))
-			// Client mistakes (bad table, bad spec) are the same on every
-			// server; failing over would just repeat them.
-			if resp.StatusCode == http.StatusBadRequest || resp.StatusCode == http.StatusNotFound {
-				return "", fmt.Errorf("%w: %v", ErrSpec, err)
-			}
-			lastErr = err
-			// 503 is capacity (or drain) signaling from a healthy member,
-			// not a failure; everything else counts against its breaker.
-			if resp.StatusCode != http.StatusServiceUnavailable {
-				m.ReportFailure()
-			}
-			continue
-		}
-		err = json.NewDecoder(resp.Body).Decode(v)
-		resp.Body.Close()
-		if err != nil {
-			lastErr = fmt.Errorf("%s: %w", srv, err)
-			m.ReportFailure()
-			continue
-		}
-		m.ReportSuccess(time.Since(t0), 0)
-		return resp.Header.Get(headerDigest), nil
 	}
 	return "", fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", s.opts.Attempts, lastErr)
+}
+
+// getJSONOn performs one metadata request against one member. Under a
+// traced caller each attempt is its own child span, stamped into the
+// outgoing request so the member can continue the trace.
+func (s *RemoteSource) getJSONOn(ctx context.Context, m *resilience.Member, path string, v any) (_ string, err error) {
+	ctx, asp := trace.Child(ctx, "fleet.get",
+		trace.Str("member", m.URL), trace.Str("path", path))
+	defer func() { asp.Fail(err); asp.End() }()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+path, nil)
+	if err != nil {
+		return "", err
+	}
+	if tp := asp.Traceparent(); tp != "" {
+		req.Header.Set(trace.Header, tp)
+	}
+	t0 := time.Now()
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
+		resp.Body.Close()
+		statusErr := fmt.Errorf("answered %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		switch resp.StatusCode {
+		case http.StatusBadRequest, http.StatusNotFound:
+			return "", fmt.Errorf("%w: %v", ErrSpec, statusErr)
+		case http.StatusServiceUnavailable:
+			return "", &busyError{retryAfter: busyRetryAfter(resp), msg: statusErr.Error()}
+		}
+		return "", statusErr
+	}
+	err = json.NewDecoder(resp.Body).Decode(v)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	m.ReportSuccess(time.Since(t0), 0)
+	return resp.Header.Get(headerDigest), nil
 }
 
 // Tables implements Source via GET /v1/summary.
@@ -441,6 +460,7 @@ func (f *remoteFiller) openAt(ctx context.Context, abs int64) error {
 	f.closeBody()
 	var lastErr error
 	a := f.src.policy.Begin()
+	sp := trace.FromContext(ctx) // the scan's span; resilience outcomes land here
 	for first := true; f.fails < f.src.opts.Attempts; first = false {
 		var floor time.Duration
 		if !first {
@@ -460,6 +480,7 @@ func (f *remoteFiller) openAt(ctx context.Context, abs int64) error {
 		m := f.src.tracker.Pick()
 		if m == nil {
 			lastErr = resilience.ErrNoMembers
+			sp.Event("no-member", trace.Int("offset", abs))
 			f.fails++
 			continue
 		}
@@ -480,15 +501,25 @@ func (f *remoteFiller) openAt(ctx context.Context, abs int64) error {
 			// breaker hit; the Retry-After floors the next backoff.
 			mRemoteBusy.Inc()
 			lastErr = fmt.Errorf("%s: %w", m.URL, busy)
+			sp.Event("busy", trace.Str("member", m.URL),
+				trace.Dur("retry_after", busy.retryAfter))
 		} else {
 			m.ReportFailure()
+			sp.Event("failover", trace.Str("member", m.URL),
+				trace.Str("error", err.Error()))
 		}
 	}
 	return fmt.Errorf("scan: fleet exhausted after %d attempts, last: %w", f.src.opts.Attempts, lastErr)
 }
 
-func (f *remoteFiller) openOn(ctx context.Context, member *resilience.Member, abs int64) error {
+func (f *remoteFiller) openOn(ctx context.Context, member *resilience.Member, abs int64) (err error) {
 	srv := member.URL
+	// One child span per HTTP attempt: its duration is the
+	// time-to-first-byte of the stream open, its error the reason the
+	// failover loop moved on.
+	ctx, asp := trace.Child(ctx, "scan.remote.attempt",
+		trace.Str("member", srv), trace.Int("offset", abs))
+	defer func() { asp.Fail(err); asp.End() }()
 	t0 := time.Now()
 	q := url.Values{}
 	q.Set("format", "csv")
@@ -512,6 +543,9 @@ func (f *remoteFiller) openOn(ctx context.Context, member *resilience.Member, ab
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return err
+	}
+	if tp := asp.Traceparent(); tp != "" {
+		req.Header.Set(trace.Header, tp)
 	}
 	resp, err := f.src.opts.Client.Do(req)
 	if err != nil {

@@ -35,6 +35,7 @@ import (
 	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/rate"
+	"github.com/dsl-repro/hydra/internal/trace"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
 )
 
@@ -44,6 +45,7 @@ import (
 // the bottleneck), plus batch and row counters. Metric pointers are
 // resolved when a backend is constructed, not per batch.
 type backendMetrics struct {
+	name          string
 	batches, rows *obs.Counter
 	batchSec      *obs.Histogram
 }
@@ -51,6 +53,7 @@ type backendMetrics struct {
 func metricsForBackend(backend string) *backendMetrics {
 	l := obs.L("backend", backend)
 	return &backendMetrics{
+		name: backend,
 		batches: obs.Default.Counter("hydra_scan_batches_total",
 			"batches filled by the unified read path, by backend", l),
 		rows: obs.Default.Counter("hydra_scan_rows_total",
@@ -175,6 +178,8 @@ type Scan struct {
 	fill     filler
 	m        *backendMetrics
 	b        *tuplegen.Batch
+	sp       *trace.Span
+	batches  int64
 	filtered bool
 	err      error
 	done     bool
@@ -231,6 +236,7 @@ func (s *Scan) Next() bool {
 		}
 		s.m.batchSec.ObserveSince(t0)
 		s.m.batches.Inc()
+		s.batches++
 		s.m.rows.Add(int64(s.b.N))
 		// The conformance invariant: every batch is anchored at its grid
 		// cell's first pk and, unfiltered, covers the cell exactly. A
@@ -259,13 +265,23 @@ func (s *Scan) Batch() *tuplegen.Batch { return s.b }
 func (s *Scan) Err() error { return s.err }
 
 // Close releases the scan's backend resources (open files, HTTP
-// streams). It is idempotent and does not disturb Err.
+// streams) and ends the scan's span. It is idempotent and does not
+// disturb Err.
 func (s *Scan) Close() error {
 	if s.done {
 		return nil
 	}
 	s.done = true
-	return s.fill.close()
+	err := s.fill.close()
+	if s.sp != nil {
+		s.sp.SetAttrs(
+			trace.Int("rows_covered", s.pos-s.lo),
+			trace.Int("batches", s.batches))
+		s.sp.Fail(s.err)
+		s.sp.Fail(err)
+		s.sp.End()
+	}
+	return err
 }
 
 // resolved is a validated, normalized Spec bound to one table layout.
@@ -363,16 +379,27 @@ func resolve(spec Spec, info *TableInfo) (*resolved, error) {
 }
 
 // newScan assembles the iterator all sources share; m is the backend's
-// metric set, resolved once at source construction.
+// metric set, resolved once at source construction. Every scan opens
+// one span named after its backend — scan.summary, scan.dir,
+// scan.remote — so the three physical forms of a relation stay
+// comparable in a trace the same way they are in the metrics. The span
+// wraps the whole iteration (cost is per scan, not per batch or row)
+// and ends at Close. It is a child span: scans sit mid-tier, so the
+// trace root belongs to the request entry point (a served stream, a
+// SQL query, a loadgen request, an orchestrated shard), and a scan on
+// an untraced context records nothing and pays nothing.
 func newScan(ctx context.Context, r *resolved, f filler, m *backendMetrics) *Scan {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, sp := trace.Child(ctx, "scan."+m.name,
+		trace.Str("table", r.info.Table),
+		trace.Int("rows", r.hi-r.lo))
 	return &Scan{
 		ctx: ctx, table: r.info.Table, cols: r.cols,
 		lo: r.lo, hi: r.hi, pos: r.lo, step: r.step,
 		lim: r.lim, fill: f, m: m, b: &tuplegen.Batch{},
-		filtered: r.filtered,
+		sp: sp, filtered: r.filtered,
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"github.com/dsl-repro/hydra/internal/orchestrate"
 	"github.com/dsl-repro/hydra/internal/resilience"
 	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/trace"
 )
 
 // RunnerOptions tunes a RemoteRunner.
@@ -127,7 +128,14 @@ func (r *RemoteRunner) Close() error {
 // Run implements orchestrate.Runner: ship the job to a fleet member,
 // fetch the artifact bundle into the job's output directory, verify it
 // against the bundled manifest, and fail over on any error.
-func (r *RemoteRunner) Run(ctx context.Context, sum *summary.Summary, job orchestrate.ShardJob) (*matgen.Report, error) {
+func (r *RemoteRunner) Run(ctx context.Context, sum *summary.Summary, job orchestrate.ShardJob) (_ *matgen.Report, err error) {
+	// One span per shard job, child of the orchestrator's shard span
+	// when one is running; failovers and busy-waits land here as
+	// events, individual POSTs as runner.attempt child spans.
+	ctx, sp := trace.Start(ctx, "runner.shardjob",
+		trace.Int("shard", int64(job.Shard+1)),
+		trace.Int("shards", int64(job.Opts.Shards)))
+	defer func() { sp.Fail(err); sp.End() }()
 	if job.Opts.Dir == "" {
 		return nil, errors.New("serve: remote job needs an output directory")
 	}
@@ -166,6 +174,7 @@ func (r *RemoteRunner) Run(ctx context.Context, sum *summary.Summary, job orches
 			// Every breaker is open: count it as a failure and let the
 			// backoff give a cooldown the chance to admit a probe.
 			lastErr = resilience.ErrNoMembers
+			sp.Event("no-member")
 			if fails++; fails >= attempts {
 				break
 			}
@@ -187,12 +196,16 @@ func (r *RemoteRunner) Run(ctx context.Context, sum *summary.Summary, job orches
 		// orchestrator's retries.
 		var busy *busyError
 		if errors.As(err, &busy) {
+			sp.Event("busy", trace.Str("member", m.URL),
+				trace.Dur("retry_after", busy.retryAfter))
 			if busyWaits++; busyWaits > maxBusyWaits {
 				break
 			}
 			continue
 		}
 		m.ReportFailure()
+		sp.Event("failover", trace.Str("member", m.URL),
+			trace.Str("error", err.Error()))
 		if fails++; fails >= attempts {
 			break
 		}
@@ -282,6 +295,8 @@ const errorBodyLimit = 4 << 10
 // (let alone clobber) another shard's already-delivered artifacts, and
 // a follow-up attempt starts from a clean slate.
 func (r *RemoteRunner) runOn(ctx context.Context, srv string, req *ShardJobRequest, job orchestrate.ShardJob) (_ *matgen.Report, err error) {
+	ctx, asp := trace.Start(ctx, "runner.attempt", trace.Str("member", srv))
+	defer func() { asp.Fail(err); asp.End() }()
 	start := time.Now()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -292,6 +307,9 @@ func (r *RemoteRunner) runOn(ctx context.Context, srv string, req *ShardJobReque
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if tp := asp.Traceparent(); tp != "" {
+		hreq.Header.Set(trace.Header, tp)
+	}
 	resp, err := r.opts.Client.Do(hreq)
 	if err != nil {
 		return nil, err

@@ -123,7 +123,16 @@ type Server struct {
 	m        serverMetrics
 	start    time.Time
 	draining atomic.Bool
+	// drainStart is the UnixNano instant BeginDrain flipped the server
+	// into drain mode, 0 while serving normally — /healthz derives the
+	// drain deadline from it.
+	drainStart atomic.Int64
 }
+
+// errStreamRejected marks the spans of requests refused at admission —
+// drain mode or the MaxStreams cap — so capacity rejections are visible
+// in the flight recorder as errored traces.
+var errStreamRejected = errors.New("rejected at admission: draining or at stream capacity")
 
 // serverMetrics are the server's own instruments, resolved once at
 // construction so the request path never takes the registry lock.
@@ -262,6 +271,13 @@ type HealthInfo struct {
 	MaxStreams    int     `json:"max_streams"`
 	Relations     int     `json:"relations"`
 	TotalRows     int64   `json:"total_rows"`
+	// Draining mirrors Status for programmatic consumers; while true,
+	// DrainDeadline is the RFC 3339 instant by which in-flight streams
+	// are abandoned (drain start + the server's drain timeout) — the
+	// longest a rolling restart should wait before giving up on this
+	// member.
+	Draining      bool   `json:"draining"`
+	DrainDeadline string `json:"drain_deadline,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -277,6 +293,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		InFlight:      s.m.inFlight.Value(),
 		MaxStreams:    s.opts.MaxStreams,
 		Relations:     len(s.sum.Relations),
+		Draining:      status == "draining",
+	}
+	if start := s.drainStart.Load(); info.Draining && start != 0 {
+		timeout := s.opts.DrainTimeout
+		if timeout <= 0 {
+			timeout = DefaultDrainTimeout
+		}
+		info.DrainDeadline = time.Unix(0, start).Add(timeout).UTC().Format(time.RFC3339)
 	}
 	for _, rs := range s.sum.Relations {
 		info.TotalRows += rs.Total
@@ -295,13 +319,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // is the point; closing the port would read as a crash, not a drain.
 // Idempotent and reversible via EndDrain.
 func (s *Server) BeginDrain() {
-	s.draining.Store(true)
+	if !s.draining.Swap(true) {
+		s.drainStart.Store(time.Now().UnixNano())
+	}
 	s.m.drainingG.Set(1)
 }
 
 // EndDrain cancels drain mode (a rolling restart that aborted).
 func (s *Server) EndDrain() {
 	s.draining.Store(false)
+	s.drainStart.Store(0)
 	s.m.drainingG.Set(0)
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"github.com/dsl-repro/hydra/internal/matgen"
 	"github.com/dsl-repro/hydra/internal/rate"
+	"github.com/dsl-repro/hydra/internal/trace"
 )
 
 // ShardJobRequest is the POST /v1/shardjobs body: one fully resolved
@@ -88,7 +89,19 @@ func (s *Server) handleShardJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The job runs under a span continuing the orchestrator's trace, so
+	// one distributed materialization shows every shard's server-side
+	// time under the client's span tree (by shared trace id).
+	psc, _ := trace.ParseTraceparent(r.Header.Get(trace.Header))
+	ctx, sp := trace.StartRemote(r.Context(), "serve.shardjob", psc,
+		trace.Str("format", req.Format),
+		trace.Int("shard", int64(req.Shard+1)),
+		trace.Int("shards", int64(req.Shards)),
+		trace.Str("remote", r.RemoteAddr))
+	defer sp.End()
+	w.Header().Set(HeaderTraceID, sp.TraceID())
 	if !s.acquire(w) {
+		sp.Fail(errStreamRejected)
 		return
 	}
 	defer s.release()
@@ -108,7 +121,7 @@ func (s *Server) handleShardJob(w http.ResponseWriter, r *http.Request) {
 	if batchRows == 0 {
 		batchRows = s.opts.BatchRows
 	}
-	rep, err := matgen.MaterializeContext(r.Context(), s.sum, matgen.Options{
+	rep, err := matgen.MaterializeContext(ctx, s.sum, matgen.Options{
 		Dir:       dir,
 		Format:    req.Format,
 		Compress:  req.Compress,
@@ -121,6 +134,7 @@ func (s *Server) handleShardJob(w http.ResponseWriter, r *http.Request) {
 		RateLimit: s.capRate(req.RateLimit),
 	})
 	if err != nil {
+		sp.Fail(err)
 		status := http.StatusInternalServerError
 		if r.Context().Err() != nil {
 			status = 499 // client closed request; nobody will read this
@@ -129,6 +143,7 @@ func (s *Server) handleShardJob(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
+	sp.SetAttrs(trace.Int("rows", rep.Rows))
 
 	h := w.Header()
 	h.Set("Content-Type", "application/x-tar")

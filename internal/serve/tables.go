@@ -16,6 +16,7 @@ import (
 	"github.com/dsl-repro/hydra/internal/obs"
 	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/rate"
+	"github.com/dsl-repro/hydra/internal/trace"
 )
 
 // Response headers and trailers of the tables endpoint. Geometry headers
@@ -32,7 +33,12 @@ const (
 	// was produced under. Clients that push predicates down require the
 	// echo: a server that ignored filter= would stream every row, which
 	// is silently wrong, not an error — the echo is the proof it didn't.
-	HeaderFilter  = "X-Hydra-Filter"
+	HeaderFilter = "X-Hydra-Filter"
+	// HeaderTraceID echoes the 32-hex-digit trace id every stream (and
+	// shard job) runs under — the client's handle into this member's
+	// /debug/traces flight recorder. The server continues the trace the
+	// client propagated in `traceparent`, or starts one of its own.
+	HeaderTraceID = "X-Hydra-Trace-Id"
 	TrailerSha256 = "X-Hydra-Sha256"
 )
 
@@ -82,7 +88,19 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, info)
 		return
 	}
+	// Every stream runs under a span, continuing the trace the client
+	// propagated (or starting a fresh one), and echoes the trace id
+	// before the first byte so either side can pull the span tree from
+	// this member's flight recorder.
+	psc, _ := trace.ParseTraceparent(r.Header.Get(trace.Header))
+	ctx, sp := trace.StartRemote(r.Context(), "serve.stream", psc,
+		trace.Str("table", info.Table),
+		trace.Str("format", info.Format),
+		trace.Str("remote", r.RemoteAddr))
+	defer sp.End()
+	w.Header().Set(HeaderTraceID, sp.TraceID())
 	if !s.acquire(w) {
+		sp.Fail(errStreamRejected)
 		return
 	}
 	defer s.release()
@@ -105,9 +123,22 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	// cancels generation mid-table when the client goes away.
 	sum := sha256.New()
 	fw := &flushWriter{w: w, rc: http.NewResponseController(w), start: t0, ttfc: s.m.ttfcSec,
-		writeTimeout: s.opts.WriteTimeout}
-	_, err = plan.Run(r.Context(), io.MultiWriter(fw, sum))
-	s.logStream(r, info, fw.wrote, time.Since(t0), err)
+		writeTimeout: s.opts.WriteTimeout, sp: sp}
+	rep, err := plan.Run(ctx, io.MultiWriter(fw, sum))
+	if rep != nil {
+		// Stage spans carry the per-stream share of matgen's stage
+		// timers: where this stream's wall time went — generation,
+		// compression, or pushing bytes to the client.
+		secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+		sp.Stage("encode", t0, secs(rep.EncodeSeconds))
+		sp.Stage("compress", t0, secs(rep.CompressSeconds))
+		sp.Stage("flush", t0, secs(rep.WriteSeconds))
+		sp.SetAttrs(
+			trace.Int("rows", rep.Rows),
+			trace.Int("bytes", fw.wrote))
+	}
+	sp.Fail(err)
+	s.logStream(r, info, fw.wrote, time.Since(t0), err, sp.TraceID())
 	if err != nil {
 		s.logf("serve: GET %s: %v", r.URL.Path, err)
 		if fw.wrote == 0 {
@@ -137,11 +168,12 @@ func (s *Server) rejectFilter(w http.ResponseWriter, err error) {
 // logStream emits one structured record per completed (or aborted)
 // table stream — the per-request detail the aggregated histograms
 // deliberately drop.
-func (s *Server) logStream(r *http.Request, info *matgen.StreamReport, bytes int64, d time.Duration, err error) {
+func (s *Server) logStream(r *http.Request, info *matgen.StreamReport, bytes int64, d time.Duration, err error, traceID string) {
 	if s.opts.Logger == nil {
 		return
 	}
 	attrs := []any{
+		slog.String("trace_id", traceID),
 		slog.String("table", info.Table),
 		slog.String("format", info.Format),
 		slog.Int("shard", info.Shard),
@@ -266,11 +298,17 @@ type flushWriter struct {
 	// reading entirely fails the stream after this long instead of
 	// holding a slot until process exit.
 	writeTimeout time.Duration
+	// sp, when set, gets a first-chunk event on the first write — the
+	// accept→first-byte gap is queueing plus first-chunk encode time.
+	sp *trace.Span
 }
 
 func (f *flushWriter) Write(p []byte) (int, error) {
-	if f.wrote == 0 && f.ttfc != nil {
-		f.ttfc.ObserveSince(f.start)
+	if f.wrote == 0 {
+		if f.ttfc != nil {
+			f.ttfc.ObserveSince(f.start)
+		}
+		f.sp.Event("first-chunk")
 	}
 	if f.writeTimeout > 0 && f.rc != nil {
 		if derr := f.rc.SetWriteDeadline(time.Now().Add(f.writeTimeout)); derr != nil && !errors.Is(derr, http.ErrNotSupported) {

@@ -44,6 +44,7 @@ import (
 	"github.com/dsl-repro/hydra/internal/pred"
 	"github.com/dsl-repro/hydra/internal/scan"
 	"github.com/dsl-repro/hydra/internal/summary"
+	"github.com/dsl-repro/hydra/internal/trace"
 	"github.com/dsl-repro/hydra/internal/tuplegen"
 )
 
@@ -225,11 +226,21 @@ func (cn *conn) QueryContext(ctx context.Context, query string, args []driver.Na
 	if err != nil {
 		return nil, err
 	}
-	sc, err := cn.c.src.Scan(ctx, spec)
+	return queryScan(ctx, cn.c.src, spec)
+}
+
+// queryScan opens a scan under a sql.query root span; the span ends
+// when the rows close, so a trace covers the full result drain, with
+// the backend's scan span (and any remote attempts) nested inside.
+func queryScan(ctx context.Context, src scan.Source, spec scan.Spec) (driver.Rows, error) {
+	ctx, sp := trace.Start(ctx, "sql.query", trace.Str("table", spec.Table))
+	sc, err := src.Scan(ctx, spec)
 	if err != nil {
+		sp.Fail(err)
+		sp.End()
 		return nil, err
 	}
-	return &rows{sc: sc}, nil
+	return &rows{sc: sc, sp: sp}, nil
 }
 
 // selectRe is the statement grammar: one table, optional projection,
@@ -301,16 +312,13 @@ func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driv
 	if len(args) > 0 {
 		return nil, errors.New("sqldriver: placeholder arguments are not supported")
 	}
-	sc, err := s.cn.c.src.Scan(ctx, s.spec)
-	if err != nil {
-		return nil, err
-	}
-	return &rows{sc: sc}, nil
+	return queryScan(ctx, s.cn.c.src, s.spec)
 }
 
 // rows streams a scan's column-major batches out row by row.
 type rows struct {
 	sc *scan.Scan
+	sp *trace.Span
 	b  *tuplegen.Batch
 	i  int
 }
@@ -321,7 +329,13 @@ var _ driver.Rows = (*rows)(nil)
 func (r *rows) Columns() []string { return r.sc.Cols() }
 
 // Close implements driver.Rows.
-func (r *rows) Close() error { return r.sc.Close() }
+func (r *rows) Close() error {
+	err := r.sc.Close()
+	r.sp.Fail(r.sc.Err())
+	r.sp.Fail(err)
+	r.sp.End()
+	return err
+}
 
 // Next implements driver.Rows, pulling the next batch when the current
 // one is drained. Values are always int64 — the only type hydra

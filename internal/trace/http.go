@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the flight recorder:
+//
+//	GET /debug/traces            JSON list of retained trace summaries,
+//	                             newest first (?n= caps the count)
+//	GET /debug/traces?id=<hex>   one trace as a span tree
+//
+// It is mounted on the -debug-addr listener next to /metrics and pprof,
+// never on the data-plane listener.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if id := r.URL.Query().Get("id"); id != "" {
+			tr := t.Get(id)
+			if tr == nil {
+				http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+				return
+			}
+			writeJSON(w, tr)
+			return
+		}
+		traces := t.Traces()
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[:n]
+			}
+		}
+		list := listDoc{Traces: make([]Summary, len(traces))}
+		for i, tr := range traces {
+			list.Traces[i] = tr.Summary
+		}
+		writeJSON(w, list)
+	})
+}
+
+// listDoc is the /debug/traces list payload.
+type listDoc struct {
+	Traces []Summary `json:"traces"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

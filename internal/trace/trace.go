@@ -1,0 +1,633 @@
+// Package trace is Hydra's distributed-tracing kernel: a stdlib-only,
+// allocation-conscious span library in the spirit of internal/obs. Where
+// obs answers "how is the fleet doing in aggregate", trace answers
+// "where did THIS request's time go": every scan, stream, and shard job
+// opens a span, child spans cover individual HTTP attempts, and
+// resilience decisions (retries, backoff waits, breaker state, failover)
+// land on the spans as timed events.
+//
+// Spans propagate across process boundaries with the W3C `traceparent`
+// header: clients stamp each outgoing attempt with the attempt span's
+// context, servers continue the trace id on their side, and every serve
+// response echoes the trace id in `X-Hydra-Trace-Id` — so one slow scan
+// in a million is greppable end to end from either side.
+//
+// Completed traces land in the Tracer's flight recorder — a fixed-size
+// ring buffer with tail-based keep rules: errored traces are always
+// kept, the slowest N are always kept, and the rest are sampled at a
+// small probability. `GET /debug/traces` (Tracer.Handler) lists what the
+// recorder holds and renders single traces as span trees; `hydra traces`
+// is the CLI face.
+//
+// The design center matches obs: all span construction costs are paid
+// off the hot encode path (spans wrap requests and scans, never rows or
+// chunks), attribute and event counts are bounded per span, and a
+// process-global Default tracer keeps call sites to one line:
+//
+//	ctx, sp := trace.Start(ctx, "scan.remote", trace.Str("table", t))
+//	defer sp.End()
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/dsl-repro/hydra/internal/obs"
+)
+
+// Header is the W3C trace-context propagation header every fleet hop
+// carries: 00-<32 hex trace id>-<16 hex span id>-<2 hex flags>.
+const Header = "traceparent"
+
+// Bounds on what one span may accumulate, so a pathological retry loop
+// cannot balloon a trace: excess attributes and events are dropped
+// (counted in the span record), excess spans are dropped from the trace.
+const (
+	MaxAttrs  = 16
+	MaxEvents = 48
+	MaxSpans  = 128
+)
+
+// TraceID identifies one trace across every process it touches.
+type TraceID [16]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanContext is the propagated part of a span: its trace and span ids.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both ids are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// Traceparent renders the context as a W3C traceparent value (version
+// 00, sampled flag set). Invalid contexts render empty.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// version except the reserved ff, requires non-zero trace and span ids,
+// and ignores the flags (tail-based sampling decides retention here).
+func ParseTraceparent(s string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, false
+	}
+	if s[0] == 'f' && s[1] == 'f' {
+		return sc, false
+	}
+	if !isHex(s[:2]) || len(s) > 55 && s[0] == '0' && s[1] == '0' {
+		// Version 00 is exactly 55 bytes; future versions may append
+		// fields after another dash.
+		return sc, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return sc, false
+	}
+	// hex.Decode accepts uppercase, but the W3C grammar is lowercase-only.
+	if !isHex(s[3:35]) || !isHex(s[36:52]) {
+		return SpanContext{}, false
+	}
+	hex.Decode(sc.TraceID[:], []byte(s[3:35]))
+	hex.Decode(sc.SpanID[:], []byte(s[36:52]))
+	if !isHex(s[53:55]) || !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Attr is one key/value annotation on a span or event. Values are
+// strings; Int and Dur render numbers at call time — per span, not per
+// row, so the formatting cost stays off hot loops.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Dur builds a duration attribute, rendered in Go duration syntax.
+func Dur(k string, d time.Duration) Attr { return Attr{Key: k, Value: d.String()} }
+
+// Event is one timed annotation on a span — a retry backoff, a breaker
+// observation, the first chunk of a stream.
+type Event struct {
+	Name     string `json:"name"`
+	OffsetUS int64  `json:"offset_us"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+
+	at time.Time
+}
+
+// SpanRecord is one completed span as the flight recorder stores it:
+// ids, placement within the trace, bounded attributes and events, and
+// the children assembled into a tree when the trace completed.
+type SpanRecord struct {
+	Name     string `json:"name"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	// StartOffsetUS is the span's start relative to the trace's start,
+	// in microseconds — the x-coordinate of a waterfall rendering.
+	StartOffsetUS int64   `json:"start_offset_us"`
+	DurationUS    int64   `json:"duration_us"`
+	Err           string  `json:"error,omitempty"`
+	Attrs         []Attr  `json:"attrs,omitempty"`
+	Events        []Event `json:"events,omitempty"`
+	// Dropped counts attributes and events the per-span bounds discarded.
+	Dropped  int           `json:"dropped,omitempty"`
+	Children []*SpanRecord `json:"children,omitempty"`
+
+	start time.Time
+}
+
+// collector accumulates one trace's finished span records until its
+// root span ends.
+type collector struct {
+	mu      sync.Mutex
+	start   time.Time
+	spans   []*SpanRecord
+	dropped int
+	done    bool
+}
+
+func (c *collector) add(rec *SpanRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done || len(c.spans) >= MaxSpans {
+		c.dropped++
+		return
+	}
+	c.spans = append(c.spans, rec)
+}
+
+// Span is one in-flight timed operation. All methods are safe on a nil
+// receiver (no-ops), so call sites never need nil guards, and safe for
+// concurrent use — parallel children may annotate while the parent runs.
+type Span struct {
+	t      *Tracer
+	col    *collector
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	root   bool
+
+	mu      sync.Mutex
+	attrs   []Attr
+	events  []Event
+	err     string
+	dropped int
+	ended   bool
+}
+
+// ctxKey carries the active span through a context.
+type ctxKey struct{}
+
+// FromContext returns the span carried by ctx, nil when there is none.
+// The nil span is usable: every method no-ops.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// ContextWith returns ctx carrying sp.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// Start begins a span named name: a child of the span already in ctx
+// when there is one, otherwise a new root on the Default tracer. The
+// returned context carries the new span for further nesting.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	return Default.Start(ctx, name, attrs...)
+}
+
+// Child begins a child span only when ctx already carries a span; with
+// no parent it returns (ctx, nil) — the no-op span. Use it on paths
+// that should contribute to an enclosing trace without opening
+// single-span traces of their own.
+func Child(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.child(name, attrs)
+	return ContextWith(ctx, sp), sp
+}
+
+// StartRemote begins a server-side root span continuing the trace a
+// client propagated in parent (the parsed traceparent); an invalid
+// parent starts a fresh trace. The local trace fragment completes when
+// this span ends — distributed fragments share a trace id, not storage.
+func StartRemote(ctx context.Context, name string, parent SpanContext, attrs ...Attr) (context.Context, *Span) {
+	return Default.StartRemote(ctx, name, parent, attrs...)
+}
+
+func (s *Span) child(name string, attrs []Attr) *Span {
+	c := &Span{
+		col:    s.col,
+		sc:     SpanContext{TraceID: s.sc.TraceID, SpanID: newSpanID()},
+		parent: s.sc.SpanID,
+		name:   name,
+		start:  time.Now(),
+	}
+	c.setAttrs(attrs)
+	return c
+}
+
+// Context returns the span's propagation context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the span's 32-hex-digit trace id, "" for nil spans —
+// the value X-Hydra-Trace-Id carries and /debug/traces is keyed by.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.TraceID.String()
+}
+
+// Traceparent renders the span's context as a W3C traceparent value for
+// an outgoing request, "" for nil spans.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.Traceparent()
+}
+
+// SetAttrs adds attributes to the span, silently dropping (but
+// counting) past MaxAttrs.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.setAttrs(attrs)
+	s.mu.Unlock()
+}
+
+func (s *Span) setAttrs(attrs []Attr) {
+	for _, a := range attrs {
+		if len(s.attrs) >= MaxAttrs {
+			s.dropped++
+			continue
+		}
+		s.attrs = append(s.attrs, a)
+	}
+}
+
+// Event records a timed annotation, dropping (but counting) past
+// MaxEvents.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.events) >= MaxEvents {
+		s.dropped++
+	} else {
+		s.events = append(s.events, Event{Name: name, Attrs: attrs, at: time.Now()})
+	}
+	s.mu.Unlock()
+}
+
+// Stage records an already-measured child span with an explicit start
+// and duration — for work timed by other means (per-stream stage
+// accumulators like matgen's encode/compress totals) rather than
+// bracketed by Start/End. The recorded span may aggregate time
+// scattered across the parent's life; its waterfall position shows the
+// stage's share, not its placement. d <= 0 records nothing.
+func (s *Span) Stage(name string, start time.Time, d time.Duration, attrs ...Attr) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.col.add(&SpanRecord{
+		Name:       name,
+		SpanID:     newSpanID().String(),
+		ParentID:   s.sc.SpanID.String(),
+		DurationUS: d.Microseconds(),
+		Attrs:      attrs,
+		start:      start,
+	})
+}
+
+// Fail marks the span errored. Fail(nil) is a no-op, so deferred
+// outcome recording needs no branch.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == "" {
+		s.err = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span. Ending a root span finalizes the trace and
+// offers it to the tracer's flight recorder; tail-based keep rules
+// decide there whether it is retained. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	dur := time.Since(s.start)
+	rec := &SpanRecord{
+		Name:       s.name,
+		SpanID:     s.sc.SpanID.String(),
+		DurationUS: dur.Microseconds(),
+		Err:        s.err,
+		Attrs:      s.attrs,
+		Events:     s.events,
+		Dropped:    s.dropped,
+		start:      s.start,
+	}
+	if !s.parent.IsZero() {
+		rec.ParentID = s.parent.String()
+	}
+	s.mu.Unlock()
+	s.col.add(rec)
+	if s.root {
+		s.t.finish(s, rec, dur)
+	}
+}
+
+// ids come from math/rand's goroutine-safe global source: uniqueness,
+// not unguessability, is the requirement, and the zero id is re-drawn
+// because it is the protocol's "invalid" marker.
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+			id[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		v := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(v >> (8 * i))
+		}
+	}
+	return id
+}
+
+// finish finalizes a completed root span's trace: offsets are resolved
+// against the trace start, records are assembled into a tree, and the
+// trace is offered to the flight recorder.
+func (t *Tracer) finish(root *Span, rootRec *SpanRecord, dur time.Duration) {
+	col := root.col
+	col.mu.Lock()
+	col.done = true
+	spans := col.spans
+	dropped := col.dropped
+	col.mu.Unlock()
+
+	tr := &Trace{
+		Summary: Summary{
+			TraceID:      root.sc.TraceID.String(),
+			Root:         root.name,
+			Start:        col.start,
+			DurationSec:  dur.Seconds(),
+			Err:          firstError(spans),
+			SpansTotal:   len(spans),
+			SpansDropped: dropped,
+		},
+		Spans: spans,
+	}
+	byID := make(map[string]*SpanRecord, len(spans))
+	for _, rec := range spans {
+		rec.StartOffsetUS = rec.start.Sub(col.start).Microseconds()
+		for i := range rec.Events {
+			rec.Events[i].OffsetUS = rec.Events[i].at.Sub(col.start).Microseconds()
+		}
+		byID[rec.SpanID] = rec
+	}
+	// Tree assembly: children attach to their parent when its record
+	// exists, otherwise to the root (a parent past MaxSpans, or the
+	// remote parent of a continued trace, must not orphan the subtree).
+	for _, rec := range spans {
+		if rec == rootRec {
+			continue
+		}
+		parent := byID[rec.ParentID]
+		if parent == nil || parent == rec {
+			parent = rootRec
+		}
+		parent.Children = append(parent.Children, rec)
+	}
+	for _, rec := range spans {
+		sort.Slice(rec.Children, func(i, j int) bool {
+			return rec.Children[i].StartOffsetUS < rec.Children[j].StartOffsetUS
+		})
+	}
+	tr.Tree = rootRec
+	t.offer(tr)
+}
+
+func firstError(spans []*SpanRecord) string {
+	for _, rec := range spans {
+		if rec.Err != "" {
+			return rec.Err
+		}
+	}
+	return ""
+}
+
+// Options tunes a Tracer's flight recorder.
+type Options struct {
+	// RingSize bounds the recorder's ring of errored + sampled traces;
+	// 0 means DefaultRingSize.
+	RingSize int
+	// SlowN is how many slowest traces are always retained regardless of
+	// sampling; 0 means DefaultSlowN, negative disables the rule.
+	SlowN int
+	// SampleRate is the probability an unremarkable (not errored, not
+	// slowest-N) trace is kept; 0 means DefaultSampleRate, negative
+	// disables sampling entirely.
+	SampleRate float64
+	// Registry receives the tracer's hydra_trace_* metrics; nil means
+	// obs.Default.
+	Registry *obs.Registry
+	// Rand is the sampling source, a test seam; nil means math/rand's
+	// global.
+	Rand func() float64
+}
+
+// Recorder defaults: enough history to debug an incident, small enough
+// to be irrelevant next to one scan's batch buffers.
+const (
+	DefaultRingSize   = 256
+	DefaultSlowN      = 16
+	DefaultSampleRate = 0.05
+)
+
+// Tracer creates spans and retains completed traces in its flight
+// recorder. Most code shares Default, mirroring obs.Default.
+type Tracer struct {
+	ringSize int
+	slowN    int
+	rate     float64
+	rand     func() float64
+
+	mSpans   *obs.Counter
+	mKept    map[string]*obs.Counter
+	mDropped *obs.Counter
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	slow []*Trace // ascending by duration
+}
+
+// New builds a Tracer with its own flight recorder.
+func New(opts Options) *Tracer {
+	if opts.RingSize <= 0 {
+		opts.RingSize = DefaultRingSize
+	}
+	switch {
+	case opts.SlowN == 0:
+		opts.SlowN = DefaultSlowN
+	case opts.SlowN < 0:
+		opts.SlowN = 0
+	}
+	switch {
+	case opts.SampleRate == 0:
+		opts.SampleRate = DefaultSampleRate
+	case opts.SampleRate < 0:
+		opts.SampleRate = 0
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	rnd := opts.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	t := &Tracer{
+		ringSize: opts.RingSize,
+		slowN:    opts.SlowN,
+		rate:     opts.SampleRate,
+		rand:     rnd,
+		mSpans: reg.Counter("hydra_trace_spans_total",
+			"spans contained in completed traces, kept or not"),
+		mDropped: reg.Counter("hydra_trace_traces_dropped_total",
+			"completed traces the flight recorder's keep rules discarded"),
+		mKept: make(map[string]*obs.Counter, 3),
+	}
+	for _, reason := range []string{KeepError, KeepSlow, KeepSampled} {
+		t.mKept[reason] = reg.Counter("hydra_trace_traces_kept_total",
+			"completed traces retained by the flight recorder, by keep rule",
+			obs.L("reason", reason))
+	}
+	return t
+}
+
+// Default is the process-global tracer every instrumented layer starts
+// spans on; `GET /debug/traces` exposes its flight recorder.
+var Default = New(Options{})
+
+// Start begins a span on this tracer: a child of the span in ctx when
+// there is one (the child joins the parent's trace regardless of which
+// tracer started it), otherwise a new root.
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if parent := FromContext(ctx); parent != nil {
+		sp := parent.child(name, attrs)
+		return ContextWith(ctx, sp), sp
+	}
+	return t.root(ctx, name, SpanContext{}, attrs)
+}
+
+// StartRemote begins a root span continuing a propagated trace; see the
+// package-level StartRemote.
+func (t *Tracer) StartRemote(ctx context.Context, name string, parent SpanContext, attrs ...Attr) (context.Context, *Span) {
+	return t.root(ctx, name, parent, attrs)
+}
+
+func (t *Tracer) root(ctx context.Context, name string, parent SpanContext, attrs []Attr) (context.Context, *Span) {
+	now := time.Now()
+	sp := &Span{
+		t:     t,
+		col:   &collector{start: now},
+		name:  name,
+		start: now,
+		root:  true,
+	}
+	if parent.Valid() {
+		sp.sc = SpanContext{TraceID: parent.TraceID, SpanID: newSpanID()}
+		sp.parent = parent.SpanID
+	} else {
+		sp.sc = SpanContext{TraceID: newTraceID(), SpanID: newSpanID()}
+	}
+	sp.setAttrs(attrs)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ContextWith(ctx, sp), sp
+}

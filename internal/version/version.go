@@ -3,6 +3,22 @@
 // operator can tell at a glance which members run which build.
 package version
 
+import (
+	"runtime"
+
+	"github.com/dsl-repro/hydra/internal/obs"
+)
+
 // String is the hydra build version. Bump it with releases; the PR
 // sequence number is the minor component.
-const String = "0.6.0"
+const String = "0.7.0"
+
+// init registers the hydra_build_info gauge: value 1, with the build
+// identity carried in labels — the standard Prometheus idiom for
+// joining any series against the running build, so a fleet dashboard
+// can group a regression by version.
+func init() {
+	obs.Default.Gauge("hydra_build_info",
+		"build identity; constant 1, version and go runtime as labels",
+		obs.L("version", String), obs.L("go_version", runtime.Version())).Set(1)
+}

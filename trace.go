@@ -1,0 +1,62 @@
+package hydra
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/dsl-repro/hydra/internal/serve"
+	"github.com/dsl-repro/hydra/internal/trace"
+)
+
+// Tracing: every request path — a remote scan with its per-member HTTP
+// attempts, a served stream with its encode/compress/flush stages, a
+// shard job, a SQL query — opens a span tree (internal/trace) keyed by
+// a W3C traceparent that travels with the request across the fleet.
+// Completed root spans land in a fixed-size flight recorder with
+// tail-based keep rules (errored traces always, the slowest N, a
+// sampled remainder), served as JSON by TraceHandler on each member's
+// -debug-addr listener and rendered by `hydra traces` as a text
+// waterfall. Streams echo their trace id in the X-Hydra-Trace-Id
+// response header and stamp it into -log-streams records, so a slow
+// request found in a loadgen report or a log line leads straight to
+// its span tree.
+
+type (
+	// Tracer owns span creation and the flight recorder; DefaultTracer
+	// is the process-global instance every engine layer records into.
+	Tracer = trace.Tracer
+	// TraceSpan is a live span; nil receivers are safe, so call sites
+	// trace unconditionally.
+	TraceSpan = trace.Span
+	// TraceSummary is one retained trace's flight-recorder row.
+	TraceSummary = trace.Summary
+	// TraceRecord is one retained trace in full: summary plus span tree.
+	TraceRecord = trace.Trace
+)
+
+// TraceparentHeader is the W3C trace-context request header
+// ("traceparent") the fleet propagates and serve extracts.
+const TraceparentHeader = trace.Header
+
+// HeaderTraceID is the response header each served stream echoes its
+// trace id in.
+const HeaderTraceID = serve.HeaderTraceID
+
+// DefaultTracer returns the process-global tracer: the one the scan
+// backends, serve data plane, orchestrator, SQL driver, and loadgen all
+// record into.
+func DefaultTracer() *Tracer { return trace.Default }
+
+// TraceHandler returns an http.Handler serving the process's flight
+// recorder at GET /debug/traces: a JSON list of retained traces, or one
+// full span tree with ?id=<traceid> — the payload `hydra traces`
+// renders.
+func TraceHandler() http.Handler { return trace.Default.Handler() }
+
+// StartSpan opens a span named name under the ambient span in ctx (a
+// new root trace if there is none) and returns the derived context.
+// End the span to record it; failed or slow roots are retained by the
+// flight recorder.
+func StartSpan(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	return trace.Start(ctx, name)
+}

@@ -1,0 +1,123 @@
+package hydra_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	hydra "github.com/dsl-repro/hydra"
+	"github.com/dsl-repro/hydra/internal/faultinject"
+	"github.com/dsl-repro/hydra/internal/resilience"
+	"github.com/dsl-repro/hydra/internal/scan"
+	"github.com/dsl-repro/hydra/internal/serve"
+	"github.com/dsl-repro/hydra/internal/trace"
+)
+
+// TestChaosScanProducesFailoverTrace is the tracing layer's acceptance
+// test: a remote scan against a fleet whose first member always
+// refuses connections must leave a single trace in the flight recorder
+// showing the failed attempt, the retry-backoff wait, and the
+// successful failover attempt — the whole incident, reconstructable
+// after the fact from one trace id.
+func TestChaosScanProducesFailoverTrace(t *testing.T) {
+	res := regenerateFigure1(t, hydra.Config{})
+
+	srv, err := serve.NewServer(res.Summary, serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := httptest.NewServer(srv)
+	t.Cleanup(healthy.Close)
+
+	proxy, err := faultinject.New(healthy.URL, faultinject.Always(faultinject.Fault{Kind: faultinject.KindRefuse}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	px := httptest.NewServer(proxy)
+	t.Cleanup(px.Close)
+
+	// Probing and breakers off: the refusing member stays in rotation,
+	// so round-robin reaches it deterministically within two scans.
+	src, err := scan.NewRemoteSource([]string{px.URL, healthy.URL}, scan.RemoteOptions{
+		Fleet: resilience.Options{ProbeInterval: -1, BreakerThreshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	ctx, root := trace.Start(context.Background(), "test.chaos-scan")
+	id := root.TraceID()
+	sc, err := src.Scan(ctx, scan.Spec{Table: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := int64(0)
+	for sc.Next() {
+		rows += int64(sc.Batch().N)
+	}
+	if err := sc.Close(); err != nil || sc.Err() != nil {
+		t.Fatalf("close=%v err=%v", err, sc.Err())
+	}
+	if rows != 700 {
+		t.Fatalf("%d rows, want 700", rows)
+	}
+	root.End()
+
+	// Both ends of the wire share this process's recorder, so the id
+	// may find two fragments: the client side (root, scan, attempts)
+	// and — if the slow-N rule admitted it — the server side
+	// (serve.stream and its stages). Only the client fragment is
+	// guaranteed: its failed attempt makes retention unconditional.
+	var frags []*trace.Trace
+	for _, got := range trace.Default.Traces() {
+		if got.TraceID == id {
+			frags = append(frags, got)
+		}
+	}
+	if len(frags) == 0 {
+		t.Fatalf("trace %s not retained", id)
+	}
+
+	// The client fragment tells the whole story: the attempt the proxy
+	// killed, the backoff wait, and the clean attempt that served the
+	// rows.
+	var failed, clean, backoff, failover bool
+	var clientKeep string
+	for _, tr := range frags {
+		for _, rec := range tr.Spans {
+			switch {
+			case rec.Name == "scan.remote.attempt" && rec.Err != "":
+				if !strings.Contains(rec.Err, px.URL) {
+					t.Errorf("failed attempt error %q does not name the flapping member %s", rec.Err, px.URL)
+				}
+				failed = true
+				clientKeep = tr.Keep
+			case rec.Name == "scan.remote.attempt":
+				clean = true
+			}
+			for _, ev := range rec.Events {
+				switch ev.Name {
+				case "retry-backoff":
+					backoff = true
+				case "failover":
+					failover = true
+				}
+			}
+		}
+	}
+	switch {
+	case !failed:
+		t.Error("trace lacks the failed attempt span")
+	case !clean:
+		t.Error("trace lacks the successful failover attempt span")
+	case !backoff:
+		t.Error("trace lacks the retry-backoff event")
+	case !failover:
+		t.Error("trace lacks the failover event")
+	}
+	if clientKeep != trace.KeepError {
+		t.Errorf("client fragment keep reason %q, want %q (a failed attempt marks the trace)", clientKeep, trace.KeepError)
+	}
+}
