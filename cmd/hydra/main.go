@@ -33,6 +33,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -265,7 +266,7 @@ func cmdMaterialize(args []string) error {
 		var i, n int
 		var tail string
 		cnt, err := fmt.Sscanf(*shardSpec, "%d/%d%s", &i, &n, &tail)
-		if err != io.EOF || cnt != 2 || i < 1 || n < 1 || i > n {
+		if !errors.Is(err, io.EOF) || cnt != 2 || i < 1 || n < 1 || i > n {
 			return fmt.Errorf("materialize: -shard wants i/N with 1 <= i <= N, got %q", *shardSpec)
 		}
 		if *shards != 1 && *shards != n {
@@ -474,7 +475,7 @@ func cmdServe(args []string) error {
 		go func() {
 			fmt.Printf("  debug: http://%s/debug/pprof/, http://%s/metrics, http://%s/debug/traces\n",
 				*debugAddr, *debugAddr, *debugAddr)
-			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "hydra: debug listener:", err)
 			}
 		}()
@@ -579,7 +580,7 @@ func cmdScan(args []string) error {
 		var i, n int
 		var tail string
 		cnt, err := fmt.Sscanf(*shardSpec, "%d/%d%s", &i, &n, &tail)
-		if err != io.EOF || cnt != 2 || i < 1 || n < 1 || i > n {
+		if !errors.Is(err, io.EOF) || cnt != 2 || i < 1 || n < 1 || i > n {
 			return fmt.Errorf("scan: -shard wants i/N with 1 <= i <= N, got %q", *shardSpec)
 		}
 		spec.Shard, spec.Shards = i-1, n
@@ -930,7 +931,7 @@ func cmdFaultProxy(args []string) error {
 		<-ctx.Done()
 		srv.Close()
 	}()
-	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil

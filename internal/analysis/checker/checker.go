@@ -1,0 +1,275 @@
+// Package checker is the standalone driver for Hydra's analysis
+// framework: it loads packages with `go list -export -deps -json`
+// (type information comes from the build cache's compiled export data,
+// so a run costs one no-op build, not a from-source re-typecheck of
+// the world), type-checks each target package, and applies every
+// analyzer. This is what `hydralint ./...` runs; the same analyzers
+// ride the `go vet -vettool` protocol via package unitchecker.
+package checker
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/dsl-repro/hydra/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath  string
+	Name        string
+	Dir         string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Export      string
+	Standard    bool
+	DepOnly     bool
+	Incomplete  bool
+	Error       *struct{ Err string }
+}
+
+// Options configure a standalone run.
+type Options struct {
+	// Tests includes in-package _test.go files in the unit being
+	// checked (external _test packages are not loaded).
+	Tests bool
+
+	// Dir is the working directory for `go list` (defaults to the
+	// process working directory).
+	Dir string
+}
+
+// Finding is one diagnostic with its position resolved, ready to
+// print or marshal (-json).
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// Run loads the packages matching patterns, applies every analyzer to
+// each non-dependency package, and returns the findings sorted by
+// position. A package that fails to load or type-check is an error —
+// hydralint refuses to report a partial view of a broken tree.
+func Run(patterns []string, analyzers []*analysis.Analyzer, opts Options) ([]Finding, error) {
+	pkgs, err := goList(opts.Dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs)) // import path -> export file
+	var targets []*listPackage
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var findings []Finding
+	for _, p := range targets {
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		}
+		names := p.GoFiles
+		if opts.Tests {
+			names = append(append([]string{}, p.GoFiles...), p.TestGoFiles...)
+		}
+		fs, err := ParseFiles(fset, p.Dir, names)
+		if err != nil {
+			return nil, err
+		}
+		pkg, info, err := TypeCheck(fset, p.ImportPath, fs, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		findings = append(findings, runAnalyzers(fset, p.ImportPath, fs, pkg, info, analyzers)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPackage
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ParseFiles parses the named files (relative names resolved against
+// dir) with comments, as the analyzers need directive comments.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	fs := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	return fs, nil
+}
+
+// TypeCheck type-checks one package's files with the given importer,
+// returning the package and full type info. Shared by the standalone
+// and vettool drivers.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+func runAnalyzers(fset *token.FileSet, pkgPath string, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Package:  pkgPath,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			pass.Reportf(token.NoPos, "analyzer failed: %v", err)
+		}
+	}
+	return findings
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Print writes findings one per line in file:line:col form, with paths
+// made relative to dir when possible (stable across checkouts, which
+// keeps -json output diffable in CI).
+func Print(w io.Writer, findings []Finding, dir string) {
+	for _, f := range findings {
+		f.File = relPath(dir, f.File)
+		fmt.Fprintln(w, f.String())
+	}
+}
+
+// PrintJSON writes the machine-readable report: a stable, sorted
+// finding list plus per-analyzer counts, so CI tooling can diff
+// finding counts across PRs.
+func PrintJSON(w io.Writer, findings []Finding, dir string) error {
+	type report struct {
+		Count      int            `json:"count"`
+		ByAnalyzer map[string]int `json:"by_analyzer"`
+		Findings   []Finding      `json:"findings"`
+	}
+	rep := report{ByAnalyzer: map[string]int{}, Findings: []Finding{}}
+	for _, f := range findings {
+		f.File = relPath(dir, f.File)
+		rep.Findings = append(rep.Findings, f)
+		rep.ByAnalyzer[f.Analyzer]++
+		rep.Count++
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func relPath(dir, path string) string {
+	if dir == "" {
+		return path
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(abs, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,142 @@
+package hydralint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/dsl-repro/hydra/internal/analysis"
+)
+
+// CtxFirst enforces context discipline in the request-path packages
+// (serve, scan, resilience, orchestrate): a function that takes a
+// context.Context takes it as the first parameter — Go's strongest
+// convention, and the one that keeps cancellation threading visible
+// in every signature — and a function that already has a context in
+// scope must not mint a fresh root with context.Background() or
+// context.TODO(), which silently detaches the work from the caller's
+// deadline and trace. The one allowed shape is the nil-default guard:
+//
+//	if ctx == nil {
+//		ctx = context.Background()
+//	}
+//
+// Functions without a context parameter (constructors, background
+// probe loops) may call Background freely — they have no caller
+// context to lose.
+var CtxFirst = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context first in signatures; no fresh context roots where a caller context exists",
+	Run:  runCtxFirst,
+}
+
+var ctxFirstPkgs = "internal/serve,internal/scan,internal/resilience,internal/orchestrate,internal/sqldriver,internal/loadgen"
+
+func init() {
+	CtxFirst.Flags.StringVar(&ctxFirstPkgs, "pkgs", ctxFirstPkgs,
+		"comma-separated import-path suffixes of request-path packages")
+}
+
+func runCtxFirst(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), ctxFirstPkgs) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam := checkCtxPosition(pass, fd)
+			if ctxParam != nil {
+				checkNoFreshRoots(pass, fd, ctxParam)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkCtxPosition reports context parameters at a position other than
+// the first, and returns the function's context parameter object (the
+// first one) if any.
+func checkCtxPosition(pass *analysis.Pass, fd *ast.FuncDecl) *types.Var {
+	var ctxObj *types.Var
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{nil} // unnamed parameter still occupies a slot
+		}
+		for _, name := range names {
+			isCtx := false
+			if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+				isCtx = true
+			}
+			if isCtx {
+				if idx != 0 {
+					pass.Reportf(field.Pos(), "context.Context must be the first parameter of %s", fd.Name.Name)
+				}
+				if ctxObj == nil && name != nil {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						ctxObj = v
+					}
+				}
+			}
+			idx++
+		}
+	}
+	return ctxObj
+}
+
+// checkNoFreshRoots flags context.Background/TODO calls inside a
+// function that already receives a context, except the nil-default
+// guard assignment.
+func checkNoFreshRoots(pass *analysis.Pass, fd *ast.FuncDecl, ctxParam *types.Var) {
+	// Collect if-statements guarding on `ctxIdent == nil`.
+	allowed := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		be, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || be.Op.String() != "==" {
+			return true
+		}
+		x, xok := ast.Unparen(be.X).(*ast.Ident)
+		if !xok || pass.TypesInfo.Uses[x] != ctxParam {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[be.Y]; !ok || !tv.IsNil() {
+			return true
+		}
+		allowed[ifs] = true
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if allowed[n] {
+			return false // everything under the nil guard is fine
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range [...]string{"Background", "TODO"} {
+			if analysis.IsPkgFunc(pass.TypesInfo, call, "context", name) {
+				pass.Reportf(call.Pos(), "context.%s inside %s detaches from the caller's context %q (deadline, cancellation, trace); thread the parameter instead", name, fd.Name.Name, ctxParam.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := n.Obj()
+	return o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context"
+}

@@ -1,0 +1,155 @@
+package hydralint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/dsl-repro/hydra/internal/analysis"
+)
+
+// ErrCmp enforces sentinel-error hygiene everywhere: error values are
+// compared with errors.Is, never ==/!= (orchestrate's verification
+// sentinels, scan's ErrScanSpec, and matgen.ErrFilter all travel
+// through fmt.Errorf("%w") wrapping, so identity comparison silently
+// stops matching the moment anyone adds context to an error), and a
+// sentinel passed to fmt.Errorf must be wrapped with %w, not
+// flattened with %v/%s — flattening strips the errors.Is identity the
+// sentinel exists to provide. Comparisons against nil are of course
+// fine.
+var ErrCmp = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc:  "compare errors with errors.Is, wrap sentinels with %w",
+	Run:  runErrCmp,
+}
+
+func runErrCmp(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrComparison(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkErrComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	xt, xok := pass.TypesInfo.Types[be.X]
+	yt, yok := pass.TypesInfo.Types[be.Y]
+	if !xok || !yok || xt.IsNil() || yt.IsNil() {
+		return
+	}
+	if !isErrorType(xt.Type) && !isErrorType(yt.Type) {
+		return
+	}
+	op := "=="
+	if be.Op == token.NEQ {
+		op = "!="
+	}
+	pass.Reportf(be.Pos(), "error compared with %s; use errors.Is so wrapped sentinels still match", op)
+}
+
+// isErrorType reports whether t is the error interface itself. Only
+// interface-typed comparisons are flagged: comparing two concrete
+// *MyError pointers is identity by construction.
+func isErrorType(t types.Type) bool {
+	it, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Identical(it, types.Universe.Lookup("error").Type().Underlying())
+}
+
+// checkErrorfWrap flags sentinel errors flattened by fmt.Errorf. A
+// sentinel is a package-level exported-or-not variable whose name
+// starts with Err/err and whose type is error.
+func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	if !analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringLiteral(call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := errorfVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		if verbs[i] == 'w' {
+			continue
+		}
+		if sentinelName(pass, arg) != "" {
+			pass.Reportf(arg.Pos(), "sentinel %s flattened with %%%c; wrap with %%w so errors.Is keeps matching", sentinelName(pass, arg), verbs[i])
+		}
+	}
+}
+
+// errorfVerbs returns the verb letter for each argument-consuming verb
+// in the format string, in order. Width/precision stars also consume
+// arguments and are returned as '*'.
+func errorfVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# .0123456789[]", c) >= 0 {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}
+
+// sentinelName returns the name of the package-level error variable
+// arg refers to, or "".
+func sentinelName(pass *analysis.Pass, arg ast.Expr) string {
+	var obj types.Object
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !isErrorType(v.Type()) {
+		return ""
+	}
+	name := v.Name()
+	if strings.HasPrefix(name, "Err") || strings.HasPrefix(name, "err") {
+		return name
+	}
+	return ""
+}

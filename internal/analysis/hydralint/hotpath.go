@@ -1,0 +1,206 @@
+package hydralint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/dsl-repro/hydra/internal/analysis"
+)
+
+// Hotpath flags allocation sources in functions annotated
+// `//hydra:hotpath`. The encode pipeline's zero-allocation property is
+// pinned dynamically by AllocsPerRun tests in matgen/tuplegen/obs;
+// this analyzer names the offending expression at compile time instead
+// of leaving a failing allocation count to bisect. Checked sources:
+//
+//   - any fmt call (Sprintf and friends allocate; Errorf boxes too),
+//   - string concatenation with + (non-constant),
+//   - string<->[]byte/[]rune conversions,
+//   - make/new and composite literals,
+//   - boxing a concrete value into an interface-typed parameter,
+//   - closures that capture enclosing variables, and go statements.
+//
+// The annotation is opt-in per function: annotate the functions whose
+// allocation budget is zero, not whole packages.
+var Hotpath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocation sources in //hydra:hotpath-annotated functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.Directive(fd, "hotpath") {
+				continue
+			}
+			checkHotpathFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotpathFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hotpath function allocates a goroutine")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address of composite literal in hotpath function allocates")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			// A value struct literal lives on the stack; map and slice
+			// literals always allocate their backing store.
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map, *types.Slice:
+					pass.Reportf(n.Pos(), "%s literal in hotpath function allocates", typeKindWord(tv.Type))
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			reportCaptures(pass, fd, n)
+			return true
+		case *ast.BinaryExpr:
+			if n.Op != token.ADD {
+				return true
+			}
+			tv, ok := info.Types[n]
+			if ok && tv.Value == nil && isString(tv.Type) {
+				pass.Reportf(n.Pos(), "string concatenation in hotpath function allocates")
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Builtins that allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in hotpath function allocates", id.Name)
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte/[]rune copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			from, okf := info.Types[call.Args[0]]
+			if okf && stringBytesConversion(from.Type, tv.Type) {
+				pass.Reportf(call.Pos(), "string/[]byte conversion in hotpath function allocates")
+			}
+		}
+		return
+	}
+	callee := analysis.CalleeObject(info, call)
+	if callee != nil && pkgPath(analysis.PkgPathOf(callee)) == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hotpath function allocates", callee.Name())
+		return
+	}
+	// Boxing: a concrete-typed argument passed to an interface-typed
+	// parameter allocates (interface conversions escape).
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing the slice through, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.IsNil() || types.IsInterface(at.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s as interface parameter boxes (allocates) in hotpath function", types.TypeString(at.Type, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// reportCaptures flags identifiers used inside the closure but
+// declared in the enclosing function — captured variables move to the
+// heap when the closure does.
+func reportCaptures(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		_, isVar := obj.(*types.Var)
+		if !isVar || obj.Parent() == nil || obj.Parent() == types.Universe {
+			return true
+		}
+		// Declared inside the enclosing function but outside the literal?
+		if obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() && (obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			seen[obj] = true
+			pass.Reportf(id.Pos(), "closure captures %q in hotpath function (capture allocates)", obj.Name())
+		}
+		return true
+	})
+}
+
+func typeKindWord(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return "composite"
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func stringBytesConversion(from, to types.Type) bool {
+	return (isString(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isString(to))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,150 @@
+package hydralint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/dsl-repro/hydra/internal/analysis"
+)
+
+// MetricsName shifts obs.LintExposition's naming rules from scrape
+// time to compile time: every metric registered through the
+// internal/obs constructors must use a string-literal name following
+// the repo's Prometheus conventions — `hydra_` prefix, snake case,
+// counters ending `_total`, histograms carrying a unit suffix — and
+// every obs.L label name must be a snake-case literal. Literal-ness
+// is itself the invariant: a computed metric name defeats both this
+// check and grep, and risks unbounded families.
+var MetricsName = &analysis.Analyzer{
+	Name: "metricsname",
+	Doc:  "obs metric and label names must be literals following hydra_ naming conventions",
+	Run:  runMetricsName,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^hydra_[a-z0-9]+(_[a-z0-9]+)*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// Histogram names must state what they measure in base units.
+var histogramUnits = [...]string{"_seconds", "_bytes", "_rows"}
+
+func runMetricsName(pass *analysis.Pass) (any, error) {
+	if pathMatches(pass.Pkg.Path(), "internal/obs") {
+		return nil, nil // the kernel itself (and its lint tests) are exempt
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeObject(pass.TypesInfo, call)
+			if callee == nil || !pathMatches(analysis.PkgPathOf(callee), "internal/obs") {
+				return true
+			}
+			switch callee.Name() {
+			case "Counter", "FloatCounter", "Gauge", "FloatGauge", "Histogram":
+				if isRegistryMethod(callee) {
+					checkMetricCall(pass, call, callee.Name())
+				}
+			case "L":
+				checkLabelCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isRegistryMethod(o types.Object) bool {
+	fn, ok := o.(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && strings.Contains(recv.Type().String(), "Registry")
+}
+
+func checkMetricCall(pass *analysis.Pass, call *ast.CallExpr, kind string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	name, ok := stringLiteral(call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(), "obs.%s name must be a string literal (computed names defeat grep and risk unbounded families)", kind)
+		return
+	}
+	pos := call.Args[0].Pos()
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(pos, "metric name %q must match %s (hydra_ prefix, snake case)", name, metricNameRE)
+		return
+	}
+	isTotal := strings.HasSuffix(name, "_total")
+	switch kind {
+	case "Counter", "FloatCounter":
+		if !isTotal {
+			pass.Reportf(pos, "counter %q must end in _total", name)
+		}
+	case "Gauge", "FloatGauge":
+		if isTotal {
+			pass.Reportf(pos, "gauge %q must not end in _total (that suffix promises a counter)", name)
+		}
+	case "Histogram":
+		if isTotal {
+			pass.Reportf(pos, "histogram %q must not end in _total", name)
+			return
+		}
+		unitOK := false
+		for _, u := range histogramUnits {
+			if strings.HasSuffix(name, u) {
+				unitOK = true
+			}
+		}
+		if !unitOK {
+			pass.Reportf(pos, "histogram %q must carry a base-unit suffix (%s)", name, strings.Join(histogramUnits[:], ", "))
+		}
+	}
+	// Help text: when literal, it must be non-empty — /metrics renders
+	// it as # HELP and LintExposition requires it at scrape time.
+	if len(call.Args) >= 2 {
+		if help, ok := stringLiteral(call.Args[1]); ok && strings.TrimSpace(help) == "" {
+			pass.Reportf(call.Args[1].Pos(), "metric %q registered with empty help text", name)
+		}
+	}
+}
+
+func checkLabelCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	name, ok := stringLiteral(call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(), "obs.L label name must be a string literal")
+		return
+	}
+	if !labelNameRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "label name %q must match %s (snake case)", name, labelNameRE)
+	}
+}
+
+// stringLiteral unquotes a basic string literal (or a parenthesized
+// one); constants that are not literals deliberately do not qualify.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,382 @@
+package hydralint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/dsl-repro/hydra/internal/analysis"
+)
+
+// SpanEnd enforces the span lifecycle: every span obtained from
+// trace.Start/Child/StartRemote (or a Tracer's Start/StartRemote, or
+// the hydra.StartSpan facade) must be ended on every return path —
+// either with a `defer sp.End()` or with an End call that dominates
+// each return. A leaked span is worse than a leaked file handle: its
+// trace's collector waits for the span count to drain, so the whole
+// trace silently never reaches the flight recorder.
+//
+// Ownership transfers are out of scope by design: a span that is
+// returned, passed to another function, or stored into a structure is
+// someone else's to end, and the analyzer says nothing. Discarding
+// the span with `_` is always a finding — nobody can ever end it.
+var SpanEnd = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "spans from trace Start/Child/StartRemote must be ended on every return path",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *analysis.Pass) (any, error) {
+	if pathMatches(pass.Pkg.Path(), "internal/trace") {
+		return nil, nil // the kernel manages its own span records
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isSpanStart(pass.TypesInfo, call) {
+				return true
+			}
+			// Start and friends return (ctx, *Span); the span is the
+			// last of the two left-hand sides.
+			if len(as.Lhs) != 2 {
+				return true
+			}
+			spanIdent, ok := as.Lhs[1].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if spanIdent.Name == "_" {
+				pass.Reportf(spanIdent.Pos(), "span discarded: nothing can ever call End, wedging the trace's collector")
+				return true
+			}
+			checkSpanEnds(pass, file, as, spanIdent)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isSpanStart recognizes the span-creating entry points.
+func isSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	o := analysis.CalleeObject(info, call)
+	if o == nil {
+		return false
+	}
+	switch o.Name() {
+	case "Start", "Child", "StartRemote":
+		return pathMatches(analysis.PkgPathOf(o), "internal/trace")
+	case "StartSpan":
+		return pkgPath(analysis.PkgPathOf(o)) == "github.com/dsl-repro/hydra"
+	}
+	return false
+}
+
+func checkSpanEnds(pass *analysis.Pass, file *ast.File, as *ast.AssignStmt, spanIdent *ast.Ident) {
+	obj := pass.TypesInfo.Defs[spanIdent]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[spanIdent]
+	}
+	if obj == nil {
+		return
+	}
+	fn := enclosingFuncNode(file, as.Pos())
+	if fn == nil {
+		return
+	}
+	body := funcBody(fn)
+	if body == nil {
+		return
+	}
+	esc := spanUsage(pass, body, obj)
+	if esc.escapes {
+		return // ownership transferred; the receiver ends it
+	}
+	if esc.deferredEnd {
+		return
+	}
+	if endsOnAllPaths(pass, stmtsAfter(body, as), obj) {
+		return
+	}
+	pass.Reportf(spanIdent.Pos(), "span %q is not ended on every return path; defer %s.End() or call End before each return", spanIdent.Name, spanIdent.Name)
+}
+
+// enclosingFuncNode returns the innermost FuncDecl or FuncLit whose
+// body contains pos — spans started inside closures (worker loops,
+// goroutines) are checked against the closure, not the outer function.
+func enclosingFuncNode(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil && n.Body.Pos() <= pos && pos < n.Body.End() {
+				best = n
+			}
+		case *ast.FuncLit:
+			if n.Body != nil && n.Body.Pos() <= pos && pos < n.Body.End() {
+				best = n
+			}
+		}
+		return true
+	})
+	return best
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+type usage struct {
+	escapes     bool
+	deferredEnd bool
+}
+
+// spanUsage scans the function body for how the span variable is
+// used: a deferred End (directly or inside a deferred closure)
+// discharges the obligation; any use other than a method call on the
+// span transfers ownership and exempts the function.
+func spanUsage(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) usage {
+	var u usage
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if callsEndOn(pass, n.Call, obj) {
+				u.deferredEnd = true
+				return false
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && containsEndCall(pass, lit.Body, obj) {
+				u.deferredEnd = true
+				return false
+			}
+		case *ast.Ident:
+			if refersTo(pass, n, obj) && !isMethodReceiverUse(pass, body, n) {
+				u.escapes = true
+			}
+		}
+		return true
+	})
+	return u
+}
+
+// isMethodReceiverUse reports whether ident is the receiver of a
+// method-call selector (sp.End(), sp.Event(...)) or one side of a
+// simple comparison/assignment shape that does not move the span —
+// anything else (argument position, composite literal, return value,
+// field store) counts as an escape.
+func isMethodReceiverUse(pass *analysis.Pass, body *ast.BlockStmt, id *ast.Ident) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+			if inner, isID := ast.Unparen(sel.X).(*ast.Ident); isID && inner == id {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	if ok {
+		return true
+	}
+	// The defining occurrence on the assignment's left-hand side is
+	// not a use at all.
+	if pass.TypesInfo.Defs[id] != nil {
+		return true
+	}
+	// `if sp != nil`-style comparisons are fine.
+	comparison := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if be, isBin := n.(*ast.BinaryExpr); isBin {
+			if x, isID := ast.Unparen(be.X).(*ast.Ident); isID && x == id {
+				comparison = true
+			}
+			if y, isID := ast.Unparen(be.Y).(*ast.Ident); isID && y == id {
+				comparison = true
+			}
+		}
+		return true
+	})
+	return comparison
+}
+
+func refersTo(pass *analysis.Pass, id *ast.Ident, obj types.Object) bool {
+	return pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj
+}
+
+func callsEndOn(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && refersTo(pass, id, obj)
+}
+
+func containsEndCall(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && callsEndOn(pass, call, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// stmtsAfter returns the statements that follow target inside its
+// innermost statement list (block, case body, or comm body) — the
+// code the End obligation must cover. If the span variable's scope
+// ends without an End there, the loop iteration or branch leaks it.
+func stmtsAfter(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
+	var rest []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			if s == target {
+				rest = list[i+1:]
+				return false
+			}
+		}
+		return true
+	})
+	return rest
+}
+
+// pathResult is the outcome of abstract-executing a statement list
+// with respect to one span variable.
+type pathResult int
+
+const (
+	fallsThrough pathResult = iota // no End, no return yet
+	ended                          // End called on every path
+	leaks                          // some path returns without End
+)
+
+// endsOnAllPaths abstract-executes the statement list: it must reach
+// an End call on the span before any return statement, on every
+// branch. Loops are treated as possibly-zero-iteration; a return
+// inside a loop body without a prior End leaks.
+func endsOnAllPaths(pass *analysis.Pass, list []ast.Stmt, obj types.Object) bool {
+	return execStmts(pass, list, obj) == ended
+}
+
+func execStmts(pass *analysis.Pass, list []ast.Stmt, obj types.Object) pathResult {
+	for _, s := range list {
+		switch r := execStmt(pass, s, obj); r {
+		case ended, leaks:
+			return r
+		}
+	}
+	return fallsThrough
+}
+
+func execStmt(pass *analysis.Pass, s ast.Stmt, obj types.Object) pathResult {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && callsEndOn(pass, call, obj) {
+			return ended
+		}
+	case *ast.ReturnStmt:
+		return leaks
+	case *ast.BlockStmt:
+		return execStmts(pass, s.List, obj)
+	case *ast.LabeledStmt:
+		return execStmt(pass, s.Stmt, obj)
+	case *ast.IfStmt:
+		thenR := execStmts(pass, s.Body.List, obj)
+		elseR := fallsThrough
+		if s.Else != nil {
+			elseR = execStmt(pass, s.Else, obj)
+		}
+		if thenR == leaks || elseR == leaks {
+			return leaks
+		}
+		if thenR == ended && elseR == ended {
+			return ended
+		}
+		// Some branch falls through without End; keep scanning the
+		// following statements.
+	case *ast.ForStmt:
+		if execStmts(pass, s.Body.List, obj) == leaks {
+			return leaks
+		}
+	case *ast.RangeStmt:
+		if execStmts(pass, s.Body.List, obj) == leaks {
+			return leaks
+		}
+	case *ast.SwitchStmt:
+		return execSwitch(pass, caseBodies(s.Body), hasDefaultCase(s.Body), obj)
+	case *ast.TypeSwitchStmt:
+		return execSwitch(pass, caseBodies(s.Body), hasDefaultCase(s.Body), obj)
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				bodies = append(bodies, cc.Body)
+			}
+		}
+		return execSwitch(pass, bodies, true, obj)
+	}
+	return fallsThrough
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func execSwitch(pass *analysis.Pass, bodies [][]ast.Stmt, exhaustive bool, obj types.Object) pathResult {
+	allEnd := len(bodies) > 0
+	for _, b := range bodies {
+		switch execStmts(pass, b, obj) {
+		case leaks:
+			return leaks
+		case fallsThrough:
+			allEnd = false
+		}
+	}
+	if allEnd && exhaustive {
+		return ended
+	}
+	return fallsThrough
+}

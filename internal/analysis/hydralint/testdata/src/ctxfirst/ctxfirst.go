@@ -1,0 +1,29 @@
+package ctxfirst
+
+import "context"
+
+func good(ctx context.Context, n int) { _ = n }
+
+func bad(n int, ctx context.Context) { _, _ = n, ctx } // want `context\.Context must be the first parameter of bad`
+
+func detaches(ctx context.Context) {
+	bg := context.Background() // want `context\.Background inside detaches detaches from the caller's context`
+	good(bg, 0)
+}
+
+func todoToo(ctx context.Context) {
+	good(context.TODO(), 0) // want `context\.TODO inside todoToo detaches from the caller's context`
+}
+
+// The nil-default guard is the one allowed fresh root.
+func guarded(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// No context parameter: free to mint roots.
+func probeLoop() context.Context {
+	return context.Background()
+}

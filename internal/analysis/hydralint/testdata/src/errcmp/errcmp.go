@@ -1,0 +1,35 @@
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrStall = errors.New("stall")
+
+func compare(err error) bool {
+	return err == io.EOF // want `error compared with ==; use errors\.Is`
+}
+
+func compareNeq(err error) bool {
+	return err != io.EOF // want `error compared with !=; use errors\.Is`
+}
+
+// nil comparisons are idiomatic and exempt.
+func compareNil(err error) bool { return err == nil }
+
+func isGood(err error) bool { return errors.Is(err, io.EOF) }
+
+func wrapBad() error {
+	return fmt.Errorf("scan: %v", ErrStall) // want `sentinel ErrStall flattened with %v; wrap with %w`
+}
+
+func wrapGood() error {
+	return fmt.Errorf("scan: %w", ErrStall)
+}
+
+// Non-sentinel arguments may use any verb.
+func wrapLocal(err error) error {
+	return fmt.Errorf("scan: %v", err)
+}

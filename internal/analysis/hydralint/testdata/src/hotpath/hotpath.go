@@ -1,0 +1,51 @@
+package hotpath
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func sink(v any) { _ = v }
+
+//hydra:hotpath
+func formats(n int) {
+	_ = fmt.Sprintf("%d", n) // want `fmt\.Sprintf in hotpath function allocates`
+}
+
+//hydra:hotpath
+func builds(n int, s string, bs []byte) {
+	m := make([]int, n) // want `make in hotpath function allocates`
+	_ = m
+	t := s + "!"   // want `string concatenation in hotpath function allocates`
+	_ = []byte(t)  // want `string/\[\]byte conversion in hotpath function allocates`
+	_ = string(bs) // want `string/\[\]byte conversion in hotpath function allocates`
+}
+
+//hydra:hotpath
+func literals() {
+	_ = []int{1, 2}      // want `slice literal in hotpath function allocates`
+	_ = map[string]int{} // want `map literal in hotpath function allocates`
+	_ = &point{1, 2}     // want `address of composite literal in hotpath function allocates`
+	p := point{1, 2}     // value literal stays on the stack: allowed
+	_ = p
+}
+
+//hydra:hotpath
+func boxes(n int) {
+	sink(n) // want `passing int as interface parameter boxes`
+}
+
+//hydra:hotpath
+func spawns() {
+	go literals() // want `go statement in hotpath function allocates a goroutine`
+}
+
+//hydra:hotpath
+func captures(n int) int {
+	f := func() int { return n } // want `closure captures "n" in hotpath function`
+	return f()
+}
+
+// Unannotated functions allocate freely.
+func unannotated(n int) string {
+	return fmt.Sprintf("%v", []int{n})
+}

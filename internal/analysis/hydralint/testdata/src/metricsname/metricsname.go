@@ -1,0 +1,22 @@
+package metricsname
+
+import "github.com/dsl-repro/hydra/internal/obs"
+
+func register(r *obs.Registry, dynamic string) {
+	r.Counter("hydra_rows_emitted_total", "rows emitted")
+	r.Gauge("hydra_streams_inflight", "streams in flight")
+	r.Histogram("hydra_scan_seconds", "scan latency", nil)
+
+	r.Counter(dynamic, "computed name")                       // want `obs\.Counter name must be a string literal`
+	r.Counter("rows_total", "missing prefix")                 // want `metric name "rows_total" must match`
+	r.Counter("hydra_Rows_total", "camel case")               // want `must match`
+	r.Counter("hydra_rows_emitted", "counter without _total") // want `counter "hydra_rows_emitted" must end in _total`
+	r.Gauge("hydra_streams_total", "gauge posing as counter") // want `gauge "hydra_streams_total" must not end in _total`
+	r.Histogram("hydra_scan_latency", "no unit", nil)         // want `histogram "hydra_scan_latency" must carry a base-unit suffix`
+	r.Histogram("hydra_scan_total", "wrong suffix", nil)      // want `histogram "hydra_scan_total" must not end in _total`
+	r.Counter("hydra_ticks_total", "")                        // want `registered with empty help text`
+
+	r.Gauge("hydra_depth_rows", "queue depth", obs.L("shard", "0"))
+	r.Gauge("hydra_lag_rows", "lag", obs.L("Shard", "0")) // want `label name "Shard" must match`
+	r.Gauge("hydra_age_rows", "age", obs.L(dynamic, "0")) // want `obs\.L label name must be a string literal`
+}

@@ -1,0 +1,71 @@
+package spanend
+
+import (
+	"context"
+
+	"github.com/dsl-repro/hydra/internal/trace"
+)
+
+func deferred(ctx context.Context) {
+	ctx, sp := trace.Start(ctx, "deferred")
+	defer sp.End()
+	work(ctx)
+}
+
+func deferredClosure(ctx context.Context) {
+	ctx, sp := trace.Start(ctx, "closure")
+	defer func() {
+		sp.End()
+	}()
+	work(ctx)
+}
+
+func explicit(ctx context.Context) {
+	ctx, sp := trace.Child(ctx, "explicit")
+	work(ctx)
+	sp.End()
+}
+
+func discarded(ctx context.Context) {
+	ctx, _ = trace.Start(ctx, "discarded") // want `span discarded`
+	work(ctx)
+}
+
+func leaksOnBranch(ctx context.Context, fail bool) error {
+	ctx, sp := trace.Start(ctx, "branchy") // want `span "sp" is not ended on every return path`
+	if fail {
+		return errFail
+	}
+	work(ctx)
+	sp.End()
+	return nil
+}
+
+func endsOnBothBranches(ctx context.Context, fail bool) error {
+	ctx, sp := trace.Child(ctx, "both")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	work(ctx)
+	sp.End()
+	return nil
+}
+
+func perIteration(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		ctx, sp := trace.Child(ctx, "iter")
+		work(ctx)
+		sp.End()
+	}
+}
+
+// Ownership transfer: the span is returned, so the caller ends it.
+func transfers(ctx context.Context) (context.Context, *trace.Span) {
+	ctx, sp := trace.Start(ctx, "handed-off")
+	return ctx, sp
+}
+
+var errFail = context.Canceled
+
+func work(ctx context.Context) { _ = ctx }

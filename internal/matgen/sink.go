@@ -141,6 +141,7 @@ type pkWriter struct {
 	n   int      // digit count of the current value
 }
 
+//hydra:hotpath
 func (p *pkWriter) set(v int64) {
 	var tmp [20]byte
 	s := strconv.AppendInt(tmp[:0], v, 10)
@@ -154,6 +155,7 @@ func (p *pkWriter) set(v int64) {
 
 func (p *pkWriter) digits() []byte { return p.buf[len(p.buf)-p.n:] }
 
+//hydra:hotpath
 func (p *pkWriter) inc() {
 	i := len(p.buf) - 1
 	for p.buf[i] == '9' {

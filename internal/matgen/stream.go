@@ -290,6 +290,8 @@ func Stream(ctx context.Context, sum *summary.Summary, opts StreamOptions, w io.
 }
 
 // Run produces the planned stream into w. See Stream.
+//
+//hydra:nondeterministic stage stopwatches feed StreamReport timings only, never stream bytes
 func (sp *StreamPlan) Run(ctx context.Context, w io.Writer) (*StreamReport, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -51,6 +51,8 @@ type Counter struct {
 
 // Add increments the counter by n (n < 0 is a programming error and is
 // ignored, keeping the counter monotone).
+//
+//hydra:hotpath
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -58,6 +60,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one.
+//
+//hydra:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
@@ -71,6 +75,8 @@ type FloatCounter struct {
 }
 
 // Add increments the counter by v (negative or NaN values are ignored).
+//
+//hydra:hotpath
 func (c *FloatCounter) Add(v float64) {
 	if !(v > 0) { // rejects v <= 0 and NaN in one comparison
 		return
@@ -97,9 +103,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//hydra:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add moves the gauge by n (negative to decrease).
+//
+//hydra:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Inc increments the gauge by one.
@@ -119,6 +129,8 @@ type FloatGauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//hydra:hotpath
 func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the current value.
@@ -136,6 +148,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//hydra:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

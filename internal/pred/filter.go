@@ -66,6 +66,8 @@ func (f Filter) With(name string, s Set) Filter {
 
 // And returns the conjunction of f with every g: each column's
 // restriction is the intersection of all restrictions named for it.
+//
+//hydra:nondeterministic map-range feeds a commutative intersection; iteration order cannot reach the result
 func (f Filter) And(gs ...Filter) Filter {
 	out := f
 	for _, g := range gs {

@@ -1,0 +1,53 @@
+package pred
+
+import "testing"
+
+// FuzzDecodeFilter asserts the wire codec's two contracts: DecodeFilter
+// never panics on arbitrary input, and any input it accepts re-encodes
+// to a canonical fixed point (decode ∘ encode is the identity on
+// encodings it produces).
+func FuzzDecodeFilter(f *testing.F) {
+	f.Add("")
+	f.Add("A=20:59;B=5;C=:10|100:")
+	f.Add("A=")
+	f.Add("x=-5:-1|7")
+	f.Add("col_1=:;col_2=0")
+	f.Fuzz(func(t *testing.T, enc string) {
+		flt, err := DecodeFilter(enc)
+		if err != nil {
+			return
+		}
+		canon := flt.Encode()
+		again, err := DecodeFilter(canon)
+		if err != nil {
+			t.Fatalf("canonical encoding %q of accepted input %q does not decode: %v", canon, enc, err)
+		}
+		if got := again.Encode(); got != canon {
+			t.Fatalf("encoding not a fixed point: %q -> %q -> %q", enc, canon, got)
+		}
+	})
+}
+
+// FuzzParseWhere asserts the SQL-ish parser never panics and that every
+// filter it produces round-trips through the canonical wire encoding.
+func FuzzParseWhere(f *testing.F) {
+	f.Add("A = 5")
+	f.Add("A = 5 AND B BETWEEN 10 AND 20 AND C IN (1, 2, 3)")
+	f.Add("d >= 7 AND e <> 0 AND f <= -3")
+	f.Add("x != 0 AND x < 100 AND x > -100")
+	f.Add("a BETWEEN -1 AND -1")
+	f.Fuzz(func(t *testing.T, where string) {
+		flt, err := ParseWhere(where)
+		if err != nil {
+			return
+		}
+		canon := flt.Encode()
+		again, err := DecodeFilter(canon)
+		if err != nil {
+			t.Fatalf("parsed %q but encoding %q does not decode: %v", where, canon, err)
+		}
+		if got := again.Encode(); got != canon {
+			t.Fatalf("encoding not a fixed point: %q -> %q -> %q", where, canon, got)
+		}
+	})
+}

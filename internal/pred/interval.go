@@ -146,6 +146,8 @@ func (s Set) Intervals() []Interval { return s.ivs }
 func (s Set) Empty() bool { return len(s.ivs) == 0 }
 
 // Contains reports whether v is a member of the set.
+//
+//hydra:hotpath
 func (s Set) Contains(v int64) bool {
 	// Binary search over sorted disjoint intervals.
 	lo, hi := 0, len(s.ivs)-1

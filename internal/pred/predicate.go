@@ -57,6 +57,8 @@ func (c Conjunct) Unsatisfiable() bool {
 
 // Eval reports whether the point satisfies the conjunct. point[i] is the
 // value of attribute i.
+//
+//hydra:hotpath
 func (c Conjunct) Eval(point []int64) bool {
 	for attr, s := range c.Cols {
 		if !s.Contains(point[attr]) {
@@ -79,6 +81,8 @@ func (c Conjunct) Attrs() []int {
 // Remap returns a copy of the conjunct with every attribute id translated
 // through m. It panics if an attribute is missing from m: predicates must
 // only ever be remapped onto spaces that cover them.
+//
+//hydra:nondeterministic map-range writes distinct keys into a map; iteration order cannot reach the result
 func (c Conjunct) Remap(m map[int]int) Conjunct {
 	out := Conjunct{Cols: make(map[int]Set, len(c.Cols))}
 	for a, s := range c.Cols {
@@ -116,6 +120,8 @@ func True() DNF { return DNF{Terms: []Conjunct{NewConjunct()}} }
 // And returns the conjunction p ∧ q, distributing over the disjuncts.
 // The result can have |p.Terms| × |q.Terms| conjuncts; workload predicates
 // are small so this never explodes in practice.
+//
+//hydra:nondeterministic map-range feeds commutative With-intersections; iteration order cannot reach the result
 func (p DNF) And(q DNF) DNF {
 	var out []Conjunct
 	for _, a := range p.Terms {

@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -350,7 +351,7 @@ func (f *dirFiller) openAt(ctx context.Context, abs int64) error {
 			}
 			n, err := file.Read(buf)
 			h.Write(buf[:n])
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				break
 			}
 			if err != nil {
@@ -448,7 +449,7 @@ func (c *csvReader) skipLine() error {
 		if err == nil {
 			return nil
 		}
-		if err != bufio.ErrBufferFull {
+		if !errors.Is(err, bufio.ErrBufferFull) {
 			return err
 		}
 	}
@@ -465,7 +466,7 @@ func (c *csvReader) skip(k int64) error {
 
 func (c *csvReader) next(dst []int64) error {
 	line, err := c.br.ReadString('\n')
-	if err != nil && (err != io.EOF || line == "") {
+	if err != nil && (!errors.Is(err, io.EOF) || line == "") {
 		return err
 	}
 	line = trimEOL(line)
@@ -522,7 +523,7 @@ func (j *jsonlReader) skip(k int64) error {
 			if err == nil {
 				break
 			}
-			if err != bufio.ErrBufferFull {
+			if !errors.Is(err, bufio.ErrBufferFull) {
 				return err
 			}
 		}
@@ -532,7 +533,7 @@ func (j *jsonlReader) skip(k int64) error {
 
 func (j *jsonlReader) next(dst []int64) error {
 	line, err := j.br.ReadBytes('\n')
-	if err != nil && (err != io.EOF || len(line) == 0) {
+	if err != nil && (!errors.Is(err, io.EOF) || len(line) == 0) {
 		return err
 	}
 	clear(j.vals)

@@ -432,7 +432,7 @@ func (f *remoteFiller) readRow(ctx context.Context) error {
 			f.resumeAbs = f.rowFull[f.pkIdx] // this row's abs is pk-1; resume after it
 			return nil
 		}
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			f.exhausted = true
 			f.finishStream(false)
 			f.closeBody()

@@ -337,7 +337,7 @@ func (r *RemoteRunner) runOn(ctx context.Context, srv string, req *ShardJobReque
 	tr := tar.NewReader(resp.Body)
 	for {
 		hdr, terr := tr.Next()
-		if terr == io.EOF {
+		if errors.Is(terr, io.EOF) {
 			break
 		}
 		if terr != nil {

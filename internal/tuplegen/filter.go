@@ -189,6 +189,8 @@ func (it *FilteredSpanIter) Next() (Span, bool) {
 // pk, then values, then FKs); nil means the identity layout. Every
 // destination column must have capacity at+sp.N. Returns at+sp.N, the
 // next free row.
+//
+//hydra:hotpath
 func FillSpan(cols [][]int64, at int, sp Span, idx []int) int {
 	n := int(sp.N)
 	nvals := len(sp.Vals)

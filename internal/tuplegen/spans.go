@@ -74,6 +74,8 @@ func (g *Generator) Spans(startPK, n int64) SpanIter {
 
 // Next returns the next span and true, or a zero Span and false when the
 // range is exhausted.
+//
+//hydra:hotpath
 func (it *SpanIter) Next() (Span, bool) {
 	if it.pk >= it.end {
 		return Span{}, false
